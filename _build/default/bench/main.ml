@@ -1,0 +1,280 @@
+(* Benchmark harness.
+
+   Two parts:
+   1. Bechamel micro-benchmarks of the core kernels (one Test.make per
+      kernel, grouped in a single executable).
+   2. The paper-reproduction harness: prints the rows/series of every
+      experiment of DESIGN.md (E1, E2, E3, Figures 4a-4c, and the
+      affinity ablation).
+
+   Usage: main.exe [--quick]   (--quick cuts trial counts for CI) *)
+
+open Bechamel
+open Toolkit
+
+let quick = Array.exists (fun a -> a = "--quick") Sys.argv
+
+(* --- Part 1: Bechamel micro-benchmarks --------------------------------- *)
+
+let bench_platform p =
+  let rng = Core.Rng.create ~seed:99 () in
+  Core.Profiles.generate rng ~p Core.Profiles.paper_lognormal
+
+let test_peri_sum =
+  let star = bench_platform 100 in
+  let areas = Core.Star.relative_speeds star in
+  Test.make ~name:"peri-sum DP (p=100)"
+    (Staged.stage (fun () -> ignore (Core.Column_partition.peri_sum ~areas)))
+
+let test_peri_max =
+  let star = bench_platform 100 in
+  let areas = Core.Star.relative_speeds star in
+  Test.make ~name:"peri-max DP (p=100)"
+    (Staged.stage (fun () -> ignore (Core.Column_partition.peri_max ~areas)))
+
+let test_demand_driven =
+  let star = bench_platform 100 in
+  Test.make ~name:"demand-driven blocks (p=100, k=2)"
+    (Staged.stage (fun () -> ignore (Core.Block_hom.demand_driven star ~n:1e6 ~k:2)))
+
+let test_nonlinear_solver =
+  let star = bench_platform 64 in
+  Test.make ~name:"nonlinear DLT solve (p=64, alpha=2)"
+    (Staged.stage (fun () ->
+         ignore
+           (Core.Nonlinear_dlt.equal_finish_allocation Core.Dlt_schedule.Parallel star
+              (Core.Cost_model.Power 2.) ~total:1e4)))
+
+let test_sample_sort =
+  let rng = Core.Rng.create ~seed:4 () in
+  let keys = Array.init 100_000 (fun _ -> Core.Rng.float rng) in
+  Test.make ~name:"sample sort (N=1e5, p=16)"
+    (Staged.stage (fun () ->
+         let rng = Core.Rng.create ~seed:5 () in
+         ignore (Core.Sample_sort.sort ~cmp:Float.compare rng keys ~p:16)))
+
+let test_distributed_matmul =
+  let rng = Core.Rng.create ~seed:6 () in
+  let n = 96 in
+  let a = Core.Matrix.random rng ~rows:n ~cols:n in
+  let b = Core.Matrix.random rng ~rows:n ~cols:n in
+  let star = bench_platform 8 in
+  let zones = Core.Zone.for_platform star ~n in
+  Test.make ~name:"distributed matmul (n=96, p=8)"
+    (Staged.stage (fun () -> ignore (Core.Matmul.distributed ~zones a b)))
+
+let test_event_queue =
+  Test.make ~name:"event queue push+pop (10k)"
+    (Staged.stage (fun () ->
+         let q = Des.Event_queue.create () in
+         for i = 0 to 9_999 do
+           Des.Event_queue.push q ~priority:(float_of_int ((i * 7919) mod 10_000)) i
+         done;
+         while not (Des.Event_queue.is_empty q) do
+           ignore (Des.Event_queue.pop q)
+         done))
+
+let test_strassen =
+  let rng = Core.Rng.create ~seed:7 () in
+  let n = 128 in
+  let a = Core.Matrix.random rng ~rows:n ~cols:n in
+  let b = Core.Matrix.random rng ~rows:n ~cols:n in
+  Test.make ~name:"strassen (n=128, cutoff=32)"
+    (Staged.stage (fun () -> ignore (Core.Strassen.multiply ~cutoff:32 a b)))
+
+let test_cannon =
+  let rng = Core.Rng.create ~seed:9 () in
+  let n = 96 in
+  let a = Core.Matrix.random rng ~rows:n ~cols:n in
+  let b = Core.Matrix.random rng ~rows:n ~cols:n in
+  Test.make ~name:"cannon (n=96, 4x4 grid)"
+    (Staged.stage (fun () -> ignore (Core.Cannon.distributed ~grid:4 a b)))
+
+let test_histogram_sort =
+  let rng = Core.Rng.create ~seed:10 () in
+  let keys = Array.init 100_000 (fun _ -> Core.Rng.float rng) in
+  Test.make ~name:"histogram splitters (N=1e5, p=16)"
+    (Staged.stage (fun () ->
+         ignore (Core.Histogram_sort.splitters ~tolerance:0.01 keys ~p:16)))
+
+let test_lu =
+  let rng = Core.Rng.create ~seed:11 () in
+  let n = 96 in
+  let base = Core.Matrix.random rng ~rows:n ~cols:n in
+  let a = Core.Matrix.add base (Core.Matrix.scale (float_of_int n) (Core.Matrix.identity n)) in
+  Test.make ~name:"LU factorize (n=96, block=32)"
+    (Staged.stage (fun () -> ignore (Core.Lu.factorize ~block:32 a)))
+
+let test_cholesky =
+  let rng = Core.Rng.create ~seed:12 () in
+  let n = 96 in
+  let m = Core.Matrix.random rng ~rows:n ~cols:n in
+  let a =
+    Core.Matrix.add
+      (Core.Matrix.mul m (Core.Matrix.transpose m))
+      (Core.Matrix.scale (float_of_int n) (Core.Matrix.identity n))
+  in
+  Test.make ~name:"Cholesky factorize (n=96, block=32)"
+    (Staged.stage (fun () -> ignore (Core.Cholesky.factorize ~block:32 a)))
+
+let test_karatsuba =
+  let rng = Core.Rng.create ~seed:13 () in
+  let a = Array.init 1024 (fun _ -> Core.Rng.uniform rng (-1.) 1.) in
+  let b = Array.init 1024 (fun _ -> Core.Rng.uniform rng (-1.) 1.) in
+  Test.make ~name:"karatsuba (n=1024)"
+    (Staged.stage (fun () -> ignore (Core.Poly.karatsuba ~cutoff:32 a b)))
+
+let test_psrs =
+  let rng = Core.Rng.create ~seed:14 () in
+  let keys = Array.init 100_000 (fun _ -> Core.Rng.float rng) in
+  Test.make ~name:"PSRS sort (N=1e5, p=16)"
+    (Staged.stage (fun () -> ignore (Core.Psrs.sort keys ~p:16)))
+
+let test_mapreduce =
+  let rng = Core.Rng.create ~seed:8 () in
+  let a = Array.init 256 (fun _ -> Core.Rng.float rng) in
+  let b = Array.init 256 (fun _ -> Core.Rng.float rng) in
+  let star = bench_platform 8 in
+  Test.make ~name:"MapReduce outer-product map phase (n=256, p=8)"
+    (Staged.stage (fun () ->
+         let job = Core.Mr_jobs.outer_product ~a ~b ~chunk:32 in
+         ignore
+           (Core.Mr_scheduler.run star ~tasks:job.Core.Mr_engine.tasks
+              ~block_size:job.Core.Mr_engine.block_size)))
+
+let report_multicore () =
+  (* Real-parallelism check of phase 3 (§3): host-dependent, so
+     reported rather than benchmarked. *)
+  let domains = Core.Parallel.default_domains () in
+  let seq, par, speedup =
+    Core.Multicore_sort.speedup (Core.Rng.create ~seed:77 ()) ~n:500_000 ~p:16
+  in
+  Printf.printf
+    "\nMulticore sample sort (N=5e5, p=16, %d domains): %.3fs sequential, %.3fs parallel \
+     (speedup %.2fx)\n%!"
+    domains seq par speedup
+
+let run_micro_benchmarks () =
+  Experiments.Report.section "Bechamel micro-benchmarks";
+  let tests =
+    [
+      test_event_queue;
+      test_peri_sum;
+      test_peri_max;
+      test_demand_driven;
+      test_nonlinear_solver;
+      test_sample_sort;
+      test_histogram_sort;
+      test_psrs;
+      test_distributed_matmul;
+      test_strassen;
+      test_cannon;
+      test_lu;
+      test_cholesky;
+      test_karatsuba;
+      test_mapreduce;
+    ]
+  in
+  let grouped = Test.make_grouped ~name:"nldl" tests in
+  let quota = if quick then Time.second 0.2 else Time.second 0.5 in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota ~kde:None () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] grouped in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let table = Numerics.Ascii_table.create ~headers:[ "kernel"; "time/run"; "r^2" ] in
+  Numerics.Ascii_table.set_align table [ Numerics.Ascii_table.Left; Right; Right ];
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  let rows = List.sort (fun (a, _) (b, _) -> String.compare a b) rows in
+  List.iter
+    (fun (name, ols) ->
+      let estimate =
+        match Analyze.OLS.estimates ols with
+        | Some (e :: _) -> e
+        | Some [] | None -> Float.nan
+      in
+      let human =
+        if estimate > 1e9 then Printf.sprintf "%.3f s" (estimate /. 1e9)
+        else if estimate > 1e6 then Printf.sprintf "%.3f ms" (estimate /. 1e6)
+        else if estimate > 1e3 then Printf.sprintf "%.3f us" (estimate /. 1e3)
+        else Printf.sprintf "%.1f ns" estimate
+      in
+      let r2 =
+        match Analyze.OLS.r_square ols with
+        | Some r -> Printf.sprintf "%.4f" r
+        | None -> "-"
+      in
+      Numerics.Ascii_table.add_row table [ name; human; r2 ])
+    rows;
+  Numerics.Ascii_table.print table
+
+(* --- Part 2: paper reproduction ---------------------------------------- *)
+
+let run_e1 () =
+  let rows = Experiments.Nonlinear_exp.run () in
+  Experiments.Nonlinear_exp.print rows
+
+let run_e2 () =
+  let sizes = if quick then [ 10_000; 100_000 ] else [ 10_000; 100_000; 1_000_000 ] in
+  let rows = Experiments.Sorting_exp.run ~sizes () in
+  Experiments.Sorting_exp.print rows;
+  let hetero = Experiments.Sorting_exp.run_hetero ~trials:(if quick then 2 else 5) () in
+  Experiments.Sorting_exp.print_hetero hetero
+
+let run_e3 () =
+  Experiments.Ratio_exp.print_bimodal (Experiments.Ratio_exp.run_bimodal ());
+  Experiments.Ratio_exp.print_general
+    (Experiments.Ratio_exp.run_general ~trials:(if quick then 5 else 20) ())
+
+let run_fig4 () =
+  let trials = if quick then 10 else 100 in
+  let figure tag profile =
+    let points = Experiments.Fig4.sweep ~trials profile in
+    Experiments.Fig4.print
+      ~title:
+        (Printf.sprintf "Figure 4(%s): ratio to lower bound, %s speeds (%d trials/point)"
+           tag (Core.Profiles.name profile) trials)
+      points
+  in
+  figure "a" Core.Profiles.paper_homogeneous;
+  figure "b" Core.Profiles.paper_uniform;
+  figure "c" Core.Profiles.paper_lognormal
+
+let run_e4 () =
+  let trials = if quick then 3 else 10 in
+  List.iter
+    (fun profile ->
+      Experiments.Time_exp.print
+        ~profile:(Core.Profiles.name profile)
+        (Experiments.Time_exp.run ~trials profile))
+    [ Core.Profiles.paper_uniform; Core.Profiles.paper_lognormal ]
+
+let run_ablation () =
+  let rows =
+    Experiments.Mapreduce_exp.run ~trials:(if quick then 1 else 3)
+      ~n:(if quick then 256 else 512) ()
+  in
+  Experiments.Mapreduce_exp.print rows;
+  if quick then begin
+    Experiments.Ablations.print_partitioners
+      (Experiments.Ablations.partitioners ~trials:5 ());
+    Experiments.Ablations.print_summa (Experiments.Ablations.summa_panels ~n:32 ());
+    Experiments.Ablations.print_c25d (Experiments.Ablations.c25d ());
+    Experiments.Ablations.print_splitters
+      (Experiments.Ablations.splitters ~n:20_000 ());
+    Experiments.Ablations.print_speculation (Experiments.Ablations.speculation ~seeds:5 ());
+    Experiments.Ablations.print_ordering (Experiments.Ablations.ordering ())
+  end
+  else Experiments.Ablations.print_all ()
+
+let () =
+  Printf.printf "nldl bench harness (version %s)%s\n%!" Core.version
+    (if quick then " [quick mode]" else "");
+  run_micro_benchmarks ();
+  report_multicore ();
+  run_e1 ();
+  run_e2 ();
+  run_e3 ();
+  run_fig4 ();
+  run_e4 ();
+  run_ablation ();
+  Printf.printf "\nDone.\n%!"

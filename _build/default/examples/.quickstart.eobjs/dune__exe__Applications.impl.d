@@ -1,0 +1,1 @@
+examples/applications.ml: Array Core Format Printf

@@ -1,0 +1,1 @@
+examples/hierarchical_platform.ml: Array Core Format List Printf String

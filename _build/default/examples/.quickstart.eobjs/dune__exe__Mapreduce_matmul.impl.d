@@ -1,0 +1,1 @@
+examples/mapreduce_matmul.ml: Array Core Float List Printf

@@ -1,0 +1,1 @@
+examples/nonlinear_dlt_demo.ml: Array Core Format List Printf

@@ -1,0 +1,1 @@
+examples/nonlinear_dlt_demo.mli:

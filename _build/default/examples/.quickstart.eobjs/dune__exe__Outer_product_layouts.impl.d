@@ -1,0 +1,1 @@
+examples/outer_product_layouts.ml: Array Core Format Printf

@@ -1,0 +1,1 @@
+examples/process_simulation.ml: Array Core Des Format Printf

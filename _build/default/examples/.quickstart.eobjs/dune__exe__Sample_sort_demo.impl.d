@@ -1,0 +1,1 @@
+examples/sample_sort_demo.ml: Array Core Float List Printf

@@ -1,0 +1,14 @@
+(** The nldl command-line interface, as a library so the argument
+    grammar is testable ({!eval_value}) and reusable. *)
+
+val command : unit Cmdliner.Cmd.t
+(** The full command group: fig4 | nonlinear | sort | ratio | partition
+    | mapreduce | time | ablations, each with a [-v] logging flag. *)
+
+val run : unit -> int
+(** Evaluate [Sys.argv] and return the exit code. *)
+
+val eval_value :
+  argv:string array ->
+  (unit Cmdliner.Cmd.eval_ok, Cmdliner.Cmd.eval_error) result
+(** Evaluate an explicit argv (for tests). *)

@@ -1,0 +1,1 @@
+lib/des/fluid.ml: Array Float Hashtbl List

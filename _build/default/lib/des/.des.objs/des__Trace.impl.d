@@ -1,0 +1,1 @@
+lib/des/trace.ml: Buffer Bytes Hashtbl List Printf String

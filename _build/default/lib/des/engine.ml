@@ -1,0 +1,52 @@
+type t = { queue : (t -> unit) Event_queue.t; mutable now : float }
+
+exception Causality of { now : float; requested : float }
+
+let create () = { queue = Event_queue.create (); now = 0. }
+let now t = t.now
+
+let schedule t ~time handler =
+  if time < t.now then raise (Causality { now = t.now; requested = time });
+  Event_queue.push t.queue ~priority:time handler
+
+let schedule_after t ~delay handler =
+  if delay < 0. then raise (Causality { now = t.now; requested = t.now +. delay });
+  schedule t ~time:(t.now +. delay) handler
+
+let pending t = Event_queue.size t.queue
+
+type cancel = unit -> unit
+
+let every t ~period ?start handler =
+  if period <= 0. then raise (Causality { now = t.now; requested = t.now +. period });
+  let cancelled = ref false in
+  let rec tick engine =
+    if not !cancelled then begin
+      handler engine;
+      if not !cancelled then schedule_after engine ~delay:period tick
+    end
+  in
+  let first = match start with Some s -> s | None -> t.now +. period in
+  schedule t ~time:first tick;
+  fun () -> cancelled := true
+
+let step t =
+  match Event_queue.pop t.queue with
+  | None -> false
+  | Some (time, handler) ->
+      t.now <- time;
+      handler t;
+      true
+
+let run ?until t =
+  let within time = match until with None -> true | Some horizon -> time <= horizon in
+  let rec loop () =
+    match Event_queue.peek t.queue with
+    | None -> ()
+    | Some (time, _) ->
+        if within time then begin
+          ignore (step t);
+          loop ()
+        end
+  in
+  loop ()

@@ -1,0 +1,86 @@
+type 'a entry = { priority : float; seq : int; payload : 'a }
+
+type 'a t = {
+  mutable heap : 'a entry array; (* empty until the first push *)
+  mutable size : int;
+  mutable next_seq : int;
+  initial_capacity : int;
+}
+
+let create ?(initial_capacity = 16) () =
+  { heap = [||]; size = 0; next_seq = 0; initial_capacity = max 1 initial_capacity }
+
+let is_empty t = t.size = 0
+let size t = t.size
+
+let less a b = a.priority < b.priority || (a.priority = b.priority && a.seq < b.seq)
+
+let swap t i j =
+  let tmp = t.heap.(i) in
+  t.heap.(i) <- t.heap.(j);
+  t.heap.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if less t.heap.(i) t.heap.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let left = (2 * i) + 1 in
+  let right = left + 1 in
+  let smallest = ref i in
+  if left < t.size && less t.heap.(left) t.heap.(!smallest) then smallest := left;
+  if right < t.size && less t.heap.(right) t.heap.(!smallest) then smallest := right;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+(* Ensure room for one more entry, using [filler] to pad fresh slots. *)
+let ensure_capacity t filler =
+  let capacity = Array.length t.heap in
+  if capacity = 0 then t.heap <- Array.make t.initial_capacity filler
+  else if t.size = capacity then begin
+    let bigger = Array.make (2 * capacity) filler in
+    Array.blit t.heap 0 bigger 0 t.size;
+    t.heap <- bigger
+  end
+
+let push t ~priority payload =
+  if Float.is_nan priority then invalid_arg "Event_queue.push: NaN priority";
+  let entry = { priority; seq = t.next_seq; payload } in
+  ensure_capacity t entry;
+  t.heap.(t.size) <- entry;
+  t.next_seq <- t.next_seq + 1;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let peek t = if t.size = 0 then None else Some (t.heap.(0).priority, t.heap.(0).payload)
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let top = t.heap.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.heap.(0) <- t.heap.(t.size);
+      sift_down t 0
+    end;
+    Some (top.priority, top.payload)
+  end
+
+let clear t = t.size <- 0
+
+let to_sorted_list t =
+  let sorted = Array.sub t.heap 0 t.size in
+  Array.sort
+    (fun a b ->
+      match Float.compare a.priority b.priority with
+      | 0 -> Int.compare a.seq b.seq
+      | c -> c)
+    sorted;
+  Array.to_list (Array.map (fun e -> (e.priority, e.payload)) sorted)

@@ -1,0 +1,129 @@
+type link = { capacity : float }
+type flow = { id : int; size : float; links : int list; start : float }
+
+let make_flow ?(start = 0.) ~id ~size ~links () =
+  if size <= 0. || Float.is_nan size then invalid_arg "Fluid.make_flow: size must be > 0";
+  if links = [] then invalid_arg "Fluid.make_flow: empty route";
+  if start < 0. then invalid_arg "Fluid.make_flow: negative start";
+  { id; size; links; start }
+
+let check ~links ~flows =
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun f ->
+      if Hashtbl.mem seen f.id then invalid_arg "Fluid: duplicate flow id";
+      Hashtbl.add seen f.id ();
+      List.iter
+        (fun l ->
+          if l < 0 || l >= Array.length links then invalid_arg "Fluid: bad link index")
+        f.links)
+    flows
+
+(* Progressive filling.  All unfrozen flows share one growing rate
+   level; each step finds the link that saturates first, freezes its
+   flows at the current level, and continues with the rest. *)
+let max_min_rates ~links ~active =
+  let rates = Hashtbl.create 16 in
+  let unfrozen = ref active in
+  let level = ref 0. in
+  let slack = Array.map (fun l -> l.capacity) links in
+  let rec fill () =
+    if !unfrozen <> [] then begin
+      let count = Array.make (Array.length links) 0 in
+      List.iter
+        (fun f -> List.iter (fun l -> count.(l) <- count.(l) + 1) f.links)
+        !unfrozen;
+      (* Smallest extra headroom per unfrozen flow over all loaded links. *)
+      let delta = ref infinity and bottleneck = ref (-1) in
+      Array.iteri
+        (fun l c ->
+          if c > 0 then begin
+            let headroom = slack.(l) /. float_of_int c in
+            if headroom < !delta then begin
+              delta := headroom;
+              bottleneck := l
+            end
+          end)
+        count;
+      assert (!bottleneck >= 0);
+      level := !level +. !delta;
+      (* Charge the increment to every loaded link. *)
+      Array.iteri
+        (fun l c -> if c > 0 then slack.(l) <- slack.(l) -. (float_of_int c *. !delta))
+        count;
+      let frozen, rest =
+        List.partition (fun f -> List.mem !bottleneck f.links) !unfrozen
+      in
+      List.iter (fun f -> Hashtbl.replace rates f.id !level) frozen;
+      unfrozen := rest;
+      fill ()
+    end
+  in
+  fill ();
+  List.map (fun f -> (f.id, Hashtbl.find rates f.id)) active
+
+type completion = { flow : int; finish : float }
+
+type live = { spec : flow; mutable remaining : float }
+
+let run ~links ~flows =
+  check ~links ~flows;
+  let pending = ref (List.sort (fun a b -> Float.compare a.start b.start) flows) in
+  let active : live list ref = ref [] in
+  let now = ref 0. in
+  let completions = ref [] in
+  let rec step () =
+    (* Admit flows that have arrived. *)
+    (match !pending with
+    | f :: rest when f.start <= !now +. 1e-12 ->
+        pending := rest;
+        active := { spec = f; remaining = f.size } :: !active;
+        step ()
+    | _ ->
+        if !active = [] then begin
+          (* Jump to the next arrival, if any. *)
+          match !pending with
+          | [] -> ()
+          | f :: _ ->
+              now := f.start;
+              step ()
+        end
+        else begin
+          let rates = max_min_rates ~links ~active:(List.map (fun l -> l.spec) !active) in
+          let rate_of id = List.assoc id rates in
+          (* Next event: first completion at current rates, or next
+             arrival. *)
+          let next_completion =
+            List.fold_left
+              (fun acc live ->
+                let rate = rate_of live.spec.id in
+                if rate <= 0. then acc
+                else Float.min acc (!now +. (live.remaining /. rate)))
+              infinity !active
+          in
+          let next_arrival =
+            match !pending with [] -> infinity | f :: _ -> f.start
+          in
+          let horizon = Float.min next_completion next_arrival in
+          assert (Float.is_finite horizon);
+          let elapsed = horizon -. !now in
+          List.iter
+            (fun live ->
+              live.remaining <- live.remaining -. (elapsed *. rate_of live.spec.id))
+            !active;
+          now := horizon;
+          let finished, running =
+            List.partition (fun live -> live.remaining <= 1e-9 *. live.spec.size) !active
+          in
+          List.iter
+            (fun live -> completions := { flow = live.spec.id; finish = !now } :: !completions)
+            finished;
+          active := running;
+          step ()
+        end)
+  in
+  step ();
+  List.sort (fun a b -> Float.compare a.finish b.finish) !completions
+
+let makespan ~links ~flows =
+  match List.rev (run ~links ~flows) with [] -> 0. | last :: _ -> last.finish

@@ -1,0 +1,34 @@
+(** Fluid network model with max-min fair bandwidth sharing (the
+    SimGrid-style alternative to the paper's independent-links model):
+    concurrent transfers crossing shared links split the capacity by
+    progressive filling, and the simulation advances from one flow
+    completion (or arrival) to the next, re-solving the allocation at
+    every event. *)
+
+type link = { capacity : float }
+
+type flow = {
+  id : int;
+  size : float;  (** data units to transfer, > 0 *)
+  links : int list;  (** indices into the link array, non-empty *)
+  start : float;  (** arrival time, >= 0 *)
+}
+
+val make_flow : ?start:float -> id:int -> size:float -> links:int list -> unit -> flow
+(** Raises [Invalid_argument] on non-positive size, empty route or
+    negative start. *)
+
+val max_min_rates : links:link array -> active:flow list -> (int * float) list
+(** The max-min fair allocation for the given concurrent flows:
+    progressive filling — all rates rise together, flows freeze when a
+    link on their route saturates.  Returns [(flow id, rate)]. *)
+
+type completion = { flow : int; finish : float }
+
+val run : links:link array -> flows:flow list -> completion list
+(** Simulate all flows to completion; returns completions sorted by
+    finish time.  Raises [Invalid_argument] on duplicate flow ids or
+    out-of-range link indices. *)
+
+val makespan : links:link array -> flows:flow list -> float
+(** Finish time of the last flow (0 when there are none). *)

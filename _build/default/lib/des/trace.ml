@@ -1,0 +1,61 @@
+type interval = { start : float; finish : float; label : string }
+
+type t = {
+  table : (string, interval list ref) Hashtbl.t;
+  mutable order : string list; (* reverse first-recorded order *)
+  mutable makespan : float;
+}
+
+let create () = { table = Hashtbl.create 16; order = []; makespan = 0. }
+
+let record t ~resource ~start ~finish ~label =
+  if finish < start then invalid_arg "Trace.record: finish < start";
+  let cell =
+    match Hashtbl.find_opt t.table resource with
+    | Some cell -> cell
+    | None ->
+        let cell = ref [] in
+        Hashtbl.add t.table resource cell;
+        t.order <- resource :: t.order;
+        cell
+  in
+  cell := { start; finish; label } :: !cell;
+  if finish > t.makespan then t.makespan <- finish
+
+let resources t = List.rev t.order
+
+let intervals t ~resource =
+  match Hashtbl.find_opt t.table resource with
+  | None -> []
+  | Some cell -> List.rev !cell
+
+let busy_time t ~resource =
+  List.fold_left (fun acc iv -> acc +. (iv.finish -. iv.start)) 0. (intervals t ~resource)
+
+let makespan t = t.makespan
+
+let utilization t ~resource =
+  if t.makespan <= 0. then 0. else busy_time t ~resource /. t.makespan
+
+let render_gantt ?(width = 72) t =
+  let horizon = if t.makespan > 0. then t.makespan else 1. in
+  let buf = Buffer.create 1024 in
+  let name_width =
+    List.fold_left (fun acc r -> max acc (String.length r)) 0 (resources t)
+  in
+  let column time = int_of_float (time /. horizon *. float_of_int (width - 1)) in
+  let row resource =
+    let cells = Bytes.make width '.' in
+    let paint iv =
+      let mark = if String.length iv.label > 0 then iv.label.[0] else '#' in
+      for col = column iv.start to column iv.finish do
+        Bytes.set cells col mark
+      done
+    in
+    List.iter paint (intervals t ~resource);
+    Buffer.add_string buf (Printf.sprintf "%-*s |%s|\n" name_width resource (Bytes.to_string cells))
+  in
+  List.iter row (resources t);
+  Buffer.add_string buf
+    (Printf.sprintf "%-*s  0%*s%.4g\n" name_width "t" (width - 1) "" t.makespan);
+  Buffer.contents buf

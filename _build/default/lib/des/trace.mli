@@ -1,0 +1,27 @@
+(** Execution traces: per-resource busy intervals recorded during a
+    simulation, with a text Gantt rendering for the examples. *)
+
+type interval = { start : float; finish : float; label : string }
+
+type t
+
+val create : unit -> t
+
+val record : t -> resource:string -> start:float -> finish:float -> label:string -> unit
+(** Raises [Invalid_argument] when [finish < start]. *)
+
+val resources : t -> string list
+(** In first-recorded order. *)
+
+val intervals : t -> resource:string -> interval list
+(** In recording order; empty for unknown resources. *)
+
+val busy_time : t -> resource:string -> float
+val makespan : t -> float
+(** Largest [finish] over all intervals; 0 when empty. *)
+
+val utilization : t -> resource:string -> float
+(** busy time / makespan; 0 when the makespan is 0. *)
+
+val render_gantt : ?width:int -> t -> string
+(** A fixed-width text Gantt chart, one row per resource. *)

@@ -1,0 +1,1 @@
+lib/dlt/affine.ml: Array Linear List Logs Numerics Platform

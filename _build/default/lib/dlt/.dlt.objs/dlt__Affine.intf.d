@@ -1,0 +1,1 @@
+lib/dlt/affine.mli: Platform

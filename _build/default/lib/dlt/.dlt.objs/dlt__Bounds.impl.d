@@ -1,0 +1,1 @@
+lib/dlt/bounds.ml: Cost_model Float Numerics Platform

@@ -1,0 +1,1 @@
+lib/dlt/bounds.mli: Cost_model Platform

@@ -1,0 +1,1 @@
+lib/dlt/cost_model.mli: Format

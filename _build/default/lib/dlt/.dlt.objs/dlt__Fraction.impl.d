@@ -1,0 +1,1 @@
+lib/dlt/fraction.ml: Cost_model Numerics

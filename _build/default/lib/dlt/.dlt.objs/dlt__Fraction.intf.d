@@ -1,0 +1,1 @@
+lib/dlt/fraction.mli: Cost_model

@@ -1,0 +1,1 @@
+lib/dlt/linear.ml: Array Cost_model Float Numerics Platform Schedule

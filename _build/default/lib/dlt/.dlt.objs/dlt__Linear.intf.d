@@ -1,0 +1,1 @@
+lib/dlt/linear.mli: Platform Schedule

@@ -1,0 +1,1 @@
+lib/dlt/multi_round.ml: Array Cost_model Float List Platform Schedule

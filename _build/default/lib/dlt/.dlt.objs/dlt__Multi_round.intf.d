@@ -1,0 +1,1 @@
+lib/dlt/multi_round.mli: Cost_model Platform Schedule

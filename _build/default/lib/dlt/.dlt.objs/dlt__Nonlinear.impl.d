@@ -1,0 +1,1 @@
+lib/dlt/nonlinear.ml: Array Cost_model Float Linear Numerics Platform Schedule

@@ -1,0 +1,1 @@
+lib/dlt/nonlinear.mli: Cost_model Platform Schedule

@@ -1,0 +1,1 @@
+lib/dlt/ordering.ml: Affine Array Float Platform

@@ -1,0 +1,1 @@
+lib/dlt/ordering.mli: Platform

@@ -1,0 +1,1 @@
+lib/dlt/return_messages.ml: Array Float List Platform

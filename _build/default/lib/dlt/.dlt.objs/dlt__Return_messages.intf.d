@@ -1,0 +1,1 @@
+lib/dlt/return_messages.mli: Platform

@@ -1,0 +1,1 @@
+lib/dlt/schedule.ml: Array Cost_model Float Format List Numerics Platform String

@@ -1,0 +1,1 @@
+lib/dlt/schedule.mli: Cost_model Format Platform

@@ -1,0 +1,1 @@
+lib/dlt/simulate.ml: Array Des Platform Printf Schedule

@@ -1,0 +1,1 @@
+lib/dlt/simulate.mli: Des Schedule

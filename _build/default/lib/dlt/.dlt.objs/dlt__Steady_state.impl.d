@@ -1,0 +1,1 @@
+lib/dlt/steady_state.ml: Array Float Numerics Platform

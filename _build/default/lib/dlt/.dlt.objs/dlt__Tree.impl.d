@@ -1,0 +1,1 @@
+lib/dlt/tree.ml: Array Float Linear List Platform

@@ -1,0 +1,1 @@
+lib/dlt/tree.mli: Platform

@@ -1,0 +1,36 @@
+(** Linear DLT under the affine one-port model: sending [n] units to
+    worker [i] costs [L_i + c_i·n] (per-message latency [L_i]), the
+    master serializes its sends, computation costs [w_i·n].
+
+    This is the "more complicated communication model" of the classical
+    DLT literature ([9]) that Section 3 argues becomes meaningful again
+    once a preprocessing (sample sort) has made the workload divisible.
+    With latencies, (a) participation is no longer free — a worker whose
+    latency eats its contribution is better dropped — and (b) the
+    dispatch order matters. *)
+
+type solution = {
+  allocation : float array;
+      (** data per worker in platform order; 0 for dropped workers *)
+  makespan : float;
+  participants : int list;  (** indices of workers with positive share *)
+}
+
+val solve : ?order:int array -> Platform.Star.t -> total:float -> solution
+(** Equal-finish-time solution among participating workers, served in
+    [order] (decreasing bandwidth by default — the classical optimal
+    activation order, see {!Linear.one_port_order}).  Workers whose share would be
+    negative are dropped (most negative first), and the participant set
+    is then improved by greedy descent: any worker whose removal lowers
+    the makespan — e.g. one whose latency dwarfs its contribution — is
+    dropped too.  Uses each processor's [latency] field.  Requires
+    [total > 0] and [order] to be a permutation. *)
+
+val makespan_of_allocation :
+  ?order:int array -> Platform.Star.t -> allocation:float array -> float
+(** Simulated makespan of an arbitrary allocation under the same model
+    (validation and what-if analysis). *)
+
+val drops_slow_high_latency_workers : Platform.Star.t -> total:float -> bool
+(** [true] when the optimal solution uses strictly fewer workers than
+    the platform has — a convenience predicate used by experiments. *)

@@ -1,0 +1,68 @@
+module Processor = Platform.Processor
+module Star = Platform.Star
+module Kahan = Numerics.Kahan
+
+let check_total total =
+  if total < 0. || Float.is_nan total then invalid_arg "Dlt.Linear: total must be >= 0"
+
+let parallel_allocation star ~total =
+  check_total total;
+  let workers = Star.workers star in
+  let inverse_rate p = 1. /. (Processor.c p +. Processor.w p) in
+  let denom = Kahan.sum_by inverse_rate workers in
+  Array.map (fun p -> total *. inverse_rate p /. denom) workers
+
+let parallel_makespan star ~total =
+  check_total total;
+  let workers = Star.workers star in
+  let denom = Kahan.sum_by (fun p -> 1. /. (Processor.c p +. Processor.w p)) workers in
+  total /. denom
+
+let one_port_order star =
+  let workers = Star.workers star in
+  let order = Array.init (Array.length workers) (fun i -> i) in
+  Array.stable_sort
+    (fun i j ->
+      Float.compare workers.(j).Processor.bandwidth workers.(i).Processor.bandwidth)
+    order;
+  order
+
+(* Relative shares along the activation order. *)
+let one_port_ratios star order =
+  let workers = Star.workers star in
+  let p = Array.length workers in
+  let ratios = Array.make p 1. in
+  for r = 1 to p - 1 do
+    let prev = workers.(order.(r - 1)) and cur = workers.(order.(r)) in
+    ratios.(r) <-
+      ratios.(r - 1) *. Processor.w prev /. (Processor.c cur +. Processor.w cur)
+  done;
+  ratios
+
+let one_port_allocation star ~total =
+  check_total total;
+  let order = one_port_order star in
+  let ratios = one_port_ratios star order in
+  let sum = Kahan.sum ratios in
+  let allocation = Array.make (Array.length ratios) 0. in
+  Array.iteri (fun r i -> allocation.(i) <- total *. ratios.(r) /. sum) order;
+  allocation
+
+let one_port_makespan star ~total =
+  check_total total;
+  let order = one_port_order star in
+  let allocation = one_port_allocation star ~total in
+  let first = Star.worker star order.(0) in
+  (* All workers finish simultaneously; the first-served one finishes
+     at (c + w)·n. *)
+  (Processor.c first +. Processor.w first) *. allocation.(order.(0))
+
+let schedule comm_model star ~total =
+  match comm_model with
+  | Schedule.Parallel ->
+      Schedule.of_allocation comm_model star Cost_model.Linear
+        ~allocation:(parallel_allocation star ~total)
+  | Schedule.One_port ->
+      Schedule.of_allocation ~order:(one_port_order star) comm_model star
+        Cost_model.Linear
+        ~allocation:(one_port_allocation star ~total)

@@ -1,0 +1,33 @@
+(** Classical linear Divisible Load Theory on a heterogeneous star
+    (the well-understood case the paper contrasts against).
+
+    Closed-form optimal single-round allocations exist both for the
+    parallel-communication model of Section 1.2 and for the classical
+    one-port model of [9]; in both the optimal solution has every
+    participating worker finish at the same instant. *)
+
+val parallel_allocation : Platform.Star.t -> total:float -> float array
+(** Parallel-communication model: worker [i] finishes at
+    [(c_i + w_i)·n_i], so the optimum is [n_i ∝ 1/(c_i + w_i)].
+    Returns the data amounts in platform order; requires
+    [total >= 0]. *)
+
+val parallel_makespan : Platform.Star.t -> total:float -> float
+(** [total / Σ 1/(c_i + w_i)]. *)
+
+val one_port_order : Platform.Star.t -> int array
+(** The classical optimal one-port activation order: decreasing
+    bandwidth (platform indices). *)
+
+val one_port_allocation : Platform.Star.t -> total:float -> float array
+(** One-port model (latency-free): the master serves workers in
+    {!one_port_order}; along that order the equal-finish-time
+    recurrence [n_{next} = n_prev · w_prev / (c_next + w_next)] fixes
+    the relative shares, which are then scaled to [total].  Returned in
+    platform order. *)
+
+val one_port_makespan : Platform.Star.t -> total:float -> float
+
+val schedule :
+  Schedule.comm_model -> Platform.Star.t -> total:float -> Schedule.t
+(** The optimal single-round schedule under the given model. *)

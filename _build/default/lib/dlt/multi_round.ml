@@ -1,0 +1,64 @@
+module Processor = Platform.Processor
+module Star = Platform.Star
+
+type chunk = {
+  worker : int;
+  round : int;
+  data : float;
+  comm_start : float;
+  comm_end : float;
+  compute_start : float;
+  compute_end : float;
+}
+
+type t = { chunks : chunk list; makespan : float }
+
+let run comm_model star cost ~allocation ~rounds =
+  if rounds <= 0 then invalid_arg "Multi_round.run: rounds must be > 0";
+  let p = Star.size star in
+  if Array.length allocation <> p then invalid_arg "Multi_round.run: allocation size mismatch";
+  Array.iter
+    (fun n -> if n < 0. || Float.is_nan n then invalid_arg "Multi_round.run: bad amount")
+    allocation;
+  let workers = Star.workers star in
+  let shared_link = ref 0. in
+  let link_free = Array.make p 0. in
+  let worker_free = Array.make p 0. in
+  let chunks = ref [] in
+  for round = 0 to rounds - 1 do
+    for i = 0 to p - 1 do
+      let data = allocation.(i) /. float_of_int rounds in
+      if data > 0. then begin
+        let proc = workers.(i) in
+        let comm_start =
+          match comm_model with
+          | Schedule.One_port -> !shared_link
+          | Schedule.Parallel -> link_free.(i)
+        in
+        let comm_end = comm_start +. Processor.transfer_time proc ~data in
+        (match comm_model with
+        | Schedule.One_port -> shared_link := comm_end
+        | Schedule.Parallel -> link_free.(i) <- comm_end);
+        let compute_start = Float.max comm_end worker_free.(i) in
+        let compute_end =
+          compute_start +. Processor.compute_time proc ~work:(Cost_model.work cost data)
+        in
+        worker_free.(i) <- compute_end;
+        chunks := { worker = i; round; data; comm_start; comm_end; compute_start; compute_end } :: !chunks
+      end
+    done
+  done;
+  let makespan = Array.fold_left Float.max 0. worker_free in
+  { chunks = List.rev !chunks; makespan }
+
+let makespan comm_model star cost ~allocation ~rounds =
+  (run comm_model star cost ~allocation ~rounds).makespan
+
+let best_rounds ?(max_rounds = 64) comm_model star cost ~allocation =
+  let best = ref (1, makespan comm_model star cost ~allocation ~rounds:1) in
+  for rounds = 2 to max_rounds do
+    let span = makespan comm_model star cost ~allocation ~rounds in
+    let _, best_span = !best in
+    if span < best_span then best := (rounds, span)
+  done;
+  !best

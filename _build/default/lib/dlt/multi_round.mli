@@ -1,0 +1,51 @@
+(** Multi-installment dispatch (the "multiple rounds" of Section 1.2):
+    each worker's share is cut into [rounds] equal chunks sent
+    round-robin, so communication pipelines with computation.
+
+    Chunks are processed independently — the divisibility assumption —
+    so under a non-linear cost model the executed work is
+    [Σ work(chunk)], not [work(total)]: running this simulator with
+    [Power alpha] makes Section 2's "intrinsic linearity" argument
+    executable. *)
+
+type chunk = {
+  worker : int;  (** index in platform order *)
+  round : int;
+  data : float;
+  comm_start : float;
+  comm_end : float;
+  compute_start : float;
+  compute_end : float;
+}
+
+type t = { chunks : chunk list; makespan : float }
+
+val run :
+  Schedule.comm_model ->
+  Platform.Star.t ->
+  Cost_model.t ->
+  allocation:float array ->
+  rounds:int ->
+  t
+(** Simulate the pipelined dispatch of [allocation] (data per worker, in
+    platform order) in [rounds] installments.  Raises
+    [Invalid_argument] when [rounds <= 0] or the allocation is
+    malformed. *)
+
+val makespan :
+  Schedule.comm_model ->
+  Platform.Star.t ->
+  Cost_model.t ->
+  allocation:float array ->
+  rounds:int ->
+  float
+
+val best_rounds :
+  ?max_rounds:int ->
+  Schedule.comm_model ->
+  Platform.Star.t ->
+  Cost_model.t ->
+  allocation:float array ->
+  int * float
+(** Exhaustive search for the round count minimizing the makespan
+    (latency pushes the optimum down; pipelining pushes it up). *)

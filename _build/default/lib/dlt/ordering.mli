@@ -1,0 +1,35 @@
+(** Dispatch-order analysis for one-port DLT.
+
+    A classical result for latency-free linear loads is that the
+    optimal makespan does not depend on the order in which the master
+    serves the workers; with per-message latencies (the affine model)
+    order matters, and heuristic orders are compared against the
+    brute-force optimum for small platforms. *)
+
+type evaluation = { order : int array; makespan : float }
+
+val makespan : Platform.Star.t -> order:int array -> total:float -> float
+(** Optimal equal-finish makespan when serving in [order]
+    (see {!Affine.solve}). *)
+
+val identity_order : int -> int array
+
+val by_bandwidth : Platform.Star.t -> int array
+(** Decreasing bandwidth — the classical heuristic. *)
+
+val by_latency : Platform.Star.t -> int array
+(** Increasing latency. *)
+
+val by_speed : Platform.Star.t -> int array
+(** Decreasing compute speed. *)
+
+val best_order : Platform.Star.t -> total:float -> evaluation
+(** Exhaustive search over all [p!] orders; raises [Invalid_argument]
+    for [p > 9]. *)
+
+val worst_order : Platform.Star.t -> total:float -> evaluation
+
+val order_spread : Platform.Star.t -> total:float -> float
+(** [worst/best - 1]: how much the dispatch order matters on this
+    platform.  0 (up to numerical noise) for latency-free linear
+    loads. *)

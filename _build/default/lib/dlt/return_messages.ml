@@ -1,0 +1,65 @@
+module Star = Platform.Star
+module Processor = Platform.Processor
+
+type policy = Fifo | Lifo
+
+type event = {
+  worker : int;
+  send_start : float;
+  send_end : float;
+  compute_end : float;
+  return_start : float;
+  return_end : float;
+}
+
+type t = { events : event list; makespan : float }
+
+let run ?order ?(delta = 1.) policy star ~allocation =
+  if delta < 0. then invalid_arg "Return_messages.run: delta must be >= 0";
+  let p = Star.size star in
+  if Array.length allocation <> p then
+    invalid_arg "Return_messages.run: allocation size mismatch";
+  let workers = Star.workers star in
+  let order = match order with Some o -> o | None -> Array.init p (fun i -> i) in
+  if Array.length order <> p then invalid_arg "Return_messages.run: bad order";
+  (* Forward phase: one-port sends in dispatch order. *)
+  let port = ref 0. in
+  let forward =
+    Array.map
+      (fun i ->
+        let proc = workers.(i) in
+        let n = allocation.(i) in
+        let send_start = !port in
+        let send_end = send_start +. Processor.transfer_time proc ~data:n in
+        if n > 0. then port := send_end;
+        let compute_end = send_end +. (Processor.w proc *. n) in
+        (i, send_start, send_end, compute_end))
+      order
+  in
+  (* Return phase: the same port, in the policy's order. *)
+  let return_sequence =
+    match policy with
+    | Fifo -> Array.to_list forward
+    | Lifo -> List.rev (Array.to_list forward)
+  in
+  let events =
+    List.map
+      (fun (i, send_start, send_end, compute_end) ->
+        let proc = workers.(i) in
+        let data = delta *. allocation.(i) in
+        let return_start = Float.max !port compute_end in
+        let return_end = return_start +. Processor.transfer_time proc ~data in
+        if data > 0. then port := return_end;
+        { worker = i; send_start; send_end; compute_end; return_start; return_end })
+      return_sequence
+  in
+  let makespan = List.fold_left (fun acc e -> Float.max acc e.return_end) 0. events in
+  { events; makespan }
+
+let makespan ?order ?delta policy star ~allocation =
+  (run ?order ?delta policy star ~allocation).makespan
+
+let best_policy ?order ?delta star ~allocation =
+  let fifo = makespan ?order ?delta Fifo star ~allocation in
+  let lifo = makespan ?order ?delta Lifo star ~allocation in
+  if fifo <= lifo then (Fifo, fifo) else (Lifo, lifo)

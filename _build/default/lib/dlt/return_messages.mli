@@ -1,0 +1,48 @@
+(** Divisible loads with return messages ([28, 29], explicitly left out
+    of the paper's model — provided here as the natural extension).
+
+    After computing its share a worker returns a result of size
+    [delta · n] through the master's single port, so forward and return
+    transfers contend.  Two classical return policies:
+
+    - {b FIFO}: results come back in the dispatch order;
+    - {b LIFO}: results come back in reverse dispatch order (last
+      served, first back).
+
+    The simulator takes an allocation (e.g. from {!Linear} or
+    {!Affine}) and computes the exact makespan under either policy. *)
+
+type policy = Fifo | Lifo
+
+type event = {
+  worker : int;  (** platform index *)
+  send_start : float;
+  send_end : float;
+  compute_end : float;
+  return_start : float;
+  return_end : float;
+}
+
+type t = { events : event list; makespan : float }
+
+val run :
+  ?order:int array ->
+  ?delta:float ->
+  policy ->
+  Platform.Star.t ->
+  allocation:float array ->
+  t
+(** [delta] (default 1: results as big as inputs) scales return sizes.
+    The port is used for the sends in [order], then for returns in the
+    policy's order, each return starting no earlier than its worker's
+    computation end and the previous port activity.  Returns use the
+    same per-worker bandwidth and latency as sends. *)
+
+val makespan :
+  ?order:int array -> ?delta:float -> policy -> Platform.Star.t ->
+  allocation:float array -> float
+
+val best_policy :
+  ?order:int array -> ?delta:float -> Platform.Star.t -> allocation:float array ->
+  policy * float
+(** The cheaper of FIFO and LIFO for this instance. *)

@@ -1,0 +1,27 @@
+module Processor = Platform.Processor
+
+let replay (schedule : Schedule.t) =
+  let engine = Des.Engine.create () in
+  let trace = Des.Trace.create () in
+  Array.iter
+    (fun (e : Schedule.entry) ->
+      if e.Schedule.data > 0. then begin
+        let id = e.Schedule.proc.Processor.id in
+        (* The handler fires at the interval start and records it using
+           the engine's clock, so any causality bug shows up as a
+           mismatched trace. *)
+        Des.Engine.schedule engine ~time:e.Schedule.comm_start (fun engine ->
+            Des.Trace.record trace
+              ~resource:(Printf.sprintf "link-P%d" id)
+              ~start:(Des.Engine.now engine) ~finish:e.Schedule.comm_end ~label:"c");
+        Des.Engine.schedule engine ~time:e.Schedule.compute_start (fun engine ->
+            Des.Trace.record trace
+              ~resource:(Printf.sprintf "P%d" id)
+              ~start:(Des.Engine.now engine) ~finish:e.Schedule.compute_end ~label:"x")
+      end)
+    schedule.Schedule.entries;
+  Des.Engine.run engine;
+  trace
+
+let makespan schedule = Des.Trace.makespan (replay schedule)
+let gantt ?width schedule = Des.Trace.render_gantt ?width (replay schedule)

@@ -1,0 +1,16 @@
+(** Event-driven replay of a DLT schedule.
+
+    Feeds a {!Schedule.t} through the discrete-event engine, recording
+    link and worker activity as a {!Des.Trace.t}: an executable
+    cross-check of the analytical makespans, and the source of the
+    Gantt charts shown by the examples. *)
+
+val replay : Schedule.t -> Des.Trace.t
+(** Resources are ["link-Pi"] for transfers and ["Pi"] for computation;
+    empty entries leave no intervals. *)
+
+val makespan : Schedule.t -> float
+(** Trace makespan of {!replay} — equals [Schedule.makespan] for
+    consistent schedules (asserted by the test suite). *)
+
+val gantt : ?width:int -> Schedule.t -> string

@@ -1,0 +1,39 @@
+module Star = Platform.Star
+module Processor = Platform.Processor
+
+type solution = { rates : float array; throughput : float }
+
+let parallel star =
+  let rates =
+    Array.map
+      (fun (p : Processor.t) -> Float.min p.Processor.speed p.Processor.bandwidth)
+      (Star.workers star)
+  in
+  { rates; throughput = Numerics.Kahan.sum rates }
+
+let one_port star =
+  let workers = Star.workers star in
+  let p = Array.length workers in
+  let rates = Array.make p 0. in
+  (* Serve cheapest communication first: one unit of rate to worker i
+     consumes c_i = 1/bw_i of the port. *)
+  let order = Array.init p (fun i -> i) in
+  Array.sort
+    (fun i j -> Float.compare workers.(j).Processor.bandwidth workers.(i).Processor.bandwidth)
+    order;
+  let port_left = ref 1. in
+  Array.iter
+    (fun i ->
+      let proc = workers.(i) in
+      let cost_per_rate = Processor.c proc in
+      let rate_limit = proc.Processor.speed in
+      let affordable = !port_left /. cost_per_rate in
+      let rate = Float.min rate_limit affordable in
+      if rate > 0. then begin
+        rates.(i) <- rate;
+        port_left := !port_left -. (rate *. cost_per_rate)
+      end)
+    order;
+  { rates; throughput = Numerics.Kahan.sum rates }
+
+let efficiency star = (one_port star).throughput /. Star.total_speed star

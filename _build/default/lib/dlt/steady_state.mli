@@ -1,0 +1,26 @@
+(** Steady-state throughput of a stream of (linear) divisible load.
+
+    When the master dispatches an unbounded stream of independent load
+    instead of a single batch, the relevant metric is the sustainable
+    rate (load per time unit).  Worker [i] can absorb at most [s_i]
+    (compute-bound) and at most [bw_i] (link-bound) load per time unit;
+    under the one-port model the master's port adds the global
+    constraint [Σ c_i·rate_i <= 1].  Both optima have simple closed
+    forms — a useful sanity layer for the single-batch schedulers. *)
+
+type solution = {
+  rates : float array;  (** load/time accepted by each worker *)
+  throughput : float;  (** [Σ rates] *)
+}
+
+val parallel : Platform.Star.t -> solution
+(** Independent links: [rate_i = min(s_i, bw_i)]. *)
+
+val one_port : Platform.Star.t -> solution
+(** Maximize [Σ rate_i] s.t. [rate_i <= s_i] and [Σ rate_i/bw_i <= 1]:
+    the fractional-knapsack optimum, greedily saturating the workers
+    with the cheapest communication (largest bandwidth) first. *)
+
+val efficiency : Platform.Star.t -> float
+(** [one_port throughput / Σ s_i]: how much of the aggregate compute
+    power the master's port can feed. *)

@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: Array Dlt Float Linalg List Mapreduce Numerics Partition Platform Printf Report Sortlib

@@ -1,0 +1,1 @@
+lib/experiments/csv_out.mli:

@@ -1,0 +1,1 @@
+lib/experiments/fig4.ml: Array List Numerics Partition Platform Printf Report

@@ -1,0 +1,1 @@
+lib/experiments/mapreduce_exp.ml: Array Linalg List Mapreduce Numerics Platform Report

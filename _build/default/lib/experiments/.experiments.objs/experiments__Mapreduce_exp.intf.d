@@ -1,0 +1,1 @@
+lib/experiments/mapreduce_exp.mli:

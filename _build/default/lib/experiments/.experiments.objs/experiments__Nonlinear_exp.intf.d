@@ -1,0 +1,1 @@
+lib/experiments/nonlinear_exp.mli:

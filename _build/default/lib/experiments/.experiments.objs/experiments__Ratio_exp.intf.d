@@ -1,0 +1,1 @@
+lib/experiments/ratio_exp.mli:

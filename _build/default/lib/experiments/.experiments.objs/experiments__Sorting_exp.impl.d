@@ -1,0 +1,1 @@
+lib/experiments/sorting_exp.ml: Array Dlt Float List Numerics Platform Report Sortlib

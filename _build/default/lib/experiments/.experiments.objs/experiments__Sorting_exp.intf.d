@@ -1,0 +1,1 @@
+lib/experiments/sorting_exp.mli:

@@ -1,0 +1,1 @@
+lib/experiments/time_exp.ml: Array List Numerics Partition Platform Printf Report

@@ -1,0 +1,1 @@
+lib/experiments/time_exp.mli: Platform

@@ -1,0 +1,97 @@
+(** Ablation studies of the design choices DESIGN.md calls out:
+
+    - PERI-SUM column DP vs. recursive bisection vs. the lower bound;
+    - SUMMA panel width: words constant, messages dropping;
+    - 2.5D replication: bandwidth saved per extra memory;
+    - sample sort vs. histogram sort splitter quality;
+    - speculative re-execution under straggler jitter;
+    - dispatch order sensitivity of affine one-port DLT. *)
+
+type partitioner_row = {
+  p : int;
+  profile : string;
+  dp_ratio : float;  (** column-DP cost / lower bound *)
+  bisection_ratio : float;
+}
+
+type summa_row = { panel : int; words : int; messages : int }
+
+type c25d_row = {
+  p : int;
+  c : int;
+  per_processor : float;
+  total : float;
+  speedup : float;
+}
+
+type splitter_row = {
+  n : int;
+  p : int;
+  sample_ratio : float;  (** max-bucket/ideal, sample sort *)
+  histogram_ratio : float;
+  histogram_passes : int;
+  psrs_ratio : float;  (** regular sampling (PSRS) *)
+}
+
+type speculation_row = {
+  sigma : float;
+  plain_makespan : float;  (** mean over seeds *)
+  speculative_makespan : float;
+  duplicates : float;  (** mean speculative copies *)
+}
+
+type ordering_row = {
+  p : int;
+  spread : float;  (** worst/best - 1 over all dispatch orders *)
+  latency_scale : float;
+}
+
+type matmul_row = {
+  algorithm : string;
+  n : int;
+  p : int;
+  words : int;
+  messages : int;
+  correct : bool;  (** result checked against [Matrix.mul] *)
+}
+
+val partitioners :
+  ?processor_counts:int list -> ?trials:int -> ?seed:int -> unit -> partitioner_row list
+
+val summa_panels : ?n:int -> ?panels:int list -> unit -> summa_row list
+val c25d : ?n:int -> ?ps:int list -> unit -> c25d_row list
+
+val splitters :
+  ?n:int -> ?processor_counts:int list -> ?seed:int -> unit -> splitter_row list
+
+val speculation :
+  ?sigmas:float list -> ?seeds:int -> ?tasks:int -> ?p:int -> unit -> speculation_row list
+
+val ordering :
+  ?p:int -> ?latency_scales:float list -> ?seed:int -> unit -> ordering_row list
+
+val matmul_algorithms : ?n:int -> ?grid:int -> unit -> matmul_row list
+(** Rank-1 zones, SUMMA (two panel widths) and Cannon on the same
+    [grid × grid] platform: words, messages and a correctness check. *)
+
+type topology_row = {
+  uplink : float;  (** cluster uplink bandwidth *)
+  loss : float;  (** aggregation loss: stranded compute fraction *)
+  tree_vs_flat : float;  (** tree makespan / flat-summary makespan *)
+}
+
+val topology : ?uplinks:float list -> ?total:float -> unit -> topology_row list
+(** Two 8-worker clusters plus two direct workers; sweeps the cluster
+    uplinks to show when hierarchy starts to bite. *)
+
+val print_partitioners : partitioner_row list -> unit
+val print_summa : summa_row list -> unit
+val print_c25d : c25d_row list -> unit
+val print_splitters : splitter_row list -> unit
+val print_speculation : speculation_row list -> unit
+val print_ordering : ordering_row list -> unit
+val print_matmul : matmul_row list -> unit
+val print_topology : topology_row list -> unit
+
+val print_all : unit -> unit
+(** Run and print every ablation with default parameters. *)

@@ -1,0 +1,33 @@
+let needs_quoting s =
+  String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+
+let escape s =
+  if needs_quoting s then begin
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+  else s
+
+let to_string ~header ~rows =
+  let width = List.length header in
+  let buf = Buffer.create 1024 in
+  let emit row =
+    if List.length row <> width then invalid_arg "Csv_out: row width mismatch";
+    Buffer.add_string buf (String.concat "," (List.map escape row));
+    Buffer.add_char buf '\n'
+  in
+  emit header;
+  List.iter emit rows;
+  Buffer.contents buf
+
+let write ~path ~header ~rows =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string ~header ~rows))

@@ -1,0 +1,11 @@
+(** Minimal CSV writer so experiment series can be post-processed with
+    external plotting tools. *)
+
+val escape : string -> string
+(** RFC-4180 quoting of one field. *)
+
+val to_string : header:string list -> rows:string list list -> string
+(** Raises [Invalid_argument] when a row's width differs from the
+    header's. *)
+
+val write : path:string -> header:string list -> rows:string list list -> unit

@@ -1,0 +1,95 @@
+module Stats = Numerics.Stats
+module Rng = Numerics.Rng
+
+type point = {
+  p : int;
+  het : Stats.summary;
+  hom : Stats.summary;
+  hom_over_k : Stats.summary;
+  mean_k : float;
+}
+
+let default_processor_counts = [ 10; 20; 40; 60; 80; 100 ]
+
+let sweep ?(processor_counts = default_processor_counts) ?(trials = 100) ?(seed = 20130520)
+    profile =
+  let rng = Rng.create ~seed () in
+  let point p =
+    let het = Array.make trials 0. in
+    let hom = Array.make trials 0. in
+    let hom_over_k = Array.make trials 0. in
+    let ks = Array.make trials 0. in
+    for t = 0 to trials - 1 do
+      let star = Platform.Profiles.generate (Rng.split rng) ~p profile in
+      let r = Partition.Strategies.evaluate star in
+      het.(t) <- r.Partition.Strategies.het;
+      hom.(t) <- r.Partition.Strategies.hom;
+      hom_over_k.(t) <- r.Partition.Strategies.hom_over_k;
+      ks.(t) <- float_of_int r.Partition.Strategies.k
+    done;
+    {
+      p;
+      het = Stats.summarize het;
+      hom = Stats.summarize hom;
+      hom_over_k = Stats.summarize hom_over_k;
+      mean_k = Stats.mean ks;
+    }
+  in
+  List.map point processor_counts
+
+let csv points =
+  let header =
+    [ "p"; "het_mean"; "het_sd"; "hom_mean"; "hom_sd"; "homk_mean"; "homk_sd"; "mean_k" ]
+  in
+  let row pt =
+    [
+      string_of_int pt.p;
+      Printf.sprintf "%.6g" pt.het.Stats.mean;
+      Printf.sprintf "%.6g" pt.het.Stats.stddev;
+      Printf.sprintf "%.6g" pt.hom.Stats.mean;
+      Printf.sprintf "%.6g" pt.hom.Stats.stddev;
+      Printf.sprintf "%.6g" pt.hom_over_k.Stats.mean;
+      Printf.sprintf "%.6g" pt.hom_over_k.Stats.stddev;
+      Printf.sprintf "%.6g" pt.mean_k;
+    ]
+  in
+  (header, List.map row points)
+
+let print ~title points =
+  Report.section title;
+  let table =
+    Numerics.Ascii_table.create
+      ~headers:
+        [ "p"; "Commhet/LB"; "het 95% CI"; "Commhom/LB"; "Commhom/k/LB"; "mean k" ]
+  in
+  List.iter
+    (fun pt ->
+      let ci =
+        if pt.het.Stats.n >= 2 then
+          let i = Numerics.Confidence.of_summary pt.het in
+          Printf.sprintf "[%.4g, %.4g]" i.Numerics.Confidence.lo i.Numerics.Confidence.hi
+        else "-"
+      in
+      Numerics.Ascii_table.add_row table
+        [
+          Report.int_cell pt.p;
+          Report.mean_sd pt.het;
+          ci;
+          Report.mean_sd pt.hom;
+          Report.mean_sd pt.hom_over_k;
+          Report.float_cell ~digits:3 pt.mean_k;
+        ])
+    points;
+  Numerics.Ascii_table.print table;
+  let series label f =
+    {
+      Numerics.Ascii_chart.label;
+      points = Array.of_list (List.map (fun pt -> (float_of_int pt.p, f pt)) points);
+    }
+  in
+  Numerics.Ascii_chart.print ~height:12
+    [
+      series "Commhet" (fun pt -> pt.het.Stats.mean);
+      series "Commhom" (fun pt -> pt.hom.Stats.mean);
+      series "Commhom/k" (fun pt -> pt.hom_over_k.Stats.mean);
+    ]

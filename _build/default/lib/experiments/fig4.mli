@@ -1,0 +1,31 @@
+(** Reproduction of Figures 4(a), 4(b), 4(c): the communication ratios
+    of the three distribution strategies against the lower bound, as the
+    platform grows, for the paper's three speed profiles; each point
+    averages [trials] random platforms (the paper uses 100) and reports
+    the standard deviation as error bars. *)
+
+type point = {
+  p : int;
+  het : Numerics.Stats.summary;
+  hom : Numerics.Stats.summary;
+  hom_over_k : Numerics.Stats.summary;
+  mean_k : float;  (** average subdivision reached by Commhom/k *)
+}
+
+val default_processor_counts : int list
+(** The paper's x-axis: 10, 20, 40, 60, 80, 100. *)
+
+val sweep :
+  ?processor_counts:int list ->
+  ?trials:int ->
+  ?seed:int ->
+  Platform.Profiles.t ->
+  point list
+(** [trials] defaults to 100 (the paper), [seed] to a fixed constant. *)
+
+val print : title:string -> point list -> unit
+(** Table plus ASCII chart of the three series. *)
+
+val csv : point list -> string list * string list list
+(** [(header, rows)] for {!Csv_out}: p, mean and stddev of each
+    strategy's ratio, and the mean subdivision. *)

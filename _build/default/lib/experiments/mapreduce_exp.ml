@@ -1,0 +1,85 @@
+module Rng = Numerics.Rng
+module Profiles = Platform.Profiles
+
+type row = {
+  p : int;
+  profile : string;
+  fifo_comm : float;
+  affinity_comm : float;
+  zone_comm : float;
+  fifo_makespan : float;
+  affinity_makespan : float;
+}
+
+let run ?(n = 512) ?(chunk = 16) ?(processor_counts = [ 4; 16 ]) ?(trials = 3) ?(seed = 17)
+    () =
+  let rng = Rng.create ~seed () in
+  let rows = ref [] in
+  let profiles = [ Profiles.paper_homogeneous; Profiles.paper_uniform ] in
+  List.iter
+    (fun profile ->
+      List.iter
+        (fun p ->
+          let fifo_comm = Array.make trials 0. in
+          let affinity_comm = Array.make trials 0. in
+          let zone_comm = Array.make trials 0. in
+          let fifo_makespan = Array.make trials 0. in
+          let affinity_makespan = Array.make trials 0. in
+          for t = 0 to trials - 1 do
+            let trial_rng = Rng.split rng in
+            let star = Profiles.generate trial_rng ~p profile in
+            let a = Array.init n (fun _ -> Rng.uniform trial_rng (-1.) 1.) in
+            let b = Array.init n (fun _ -> Rng.uniform trial_rng (-1.) 1.) in
+            let job = Mapreduce.Jobs.outer_product ~a ~b ~chunk in
+            let run_with policy =
+              Mapreduce.Scheduler.run
+                ~config:{ Mapreduce.Scheduler.policy; speculation = false }
+                star ~tasks:job.Mapreduce.Engine.tasks
+                ~block_size:job.Mapreduce.Engine.block_size
+            in
+            let fifo = run_with Mapreduce.Scheduler.Fifo in
+            let affinity = run_with Mapreduce.Scheduler.Affinity in
+            let zones = Linalg.Zone.for_platform star ~n in
+            fifo_comm.(t) <- fifo.Mapreduce.Scheduler.communication;
+            affinity_comm.(t) <- affinity.Mapreduce.Scheduler.communication;
+            zone_comm.(t) <- float_of_int (Linalg.Zone.half_perimeter_sum zones);
+            fifo_makespan.(t) <- fifo.Mapreduce.Scheduler.makespan;
+            affinity_makespan.(t) <- affinity.Mapreduce.Scheduler.makespan
+          done;
+          rows :=
+            {
+              p;
+              profile = Profiles.name profile;
+              fifo_comm = Numerics.Stats.mean fifo_comm;
+              affinity_comm = Numerics.Stats.mean affinity_comm;
+              zone_comm = Numerics.Stats.mean zone_comm;
+              fifo_makespan = Numerics.Stats.mean fifo_makespan;
+              affinity_makespan = Numerics.Stats.mean affinity_makespan;
+            }
+            :: !rows)
+        processor_counts)
+    profiles;
+  List.rev !rows
+
+let print rows =
+  Report.section "Ablation (paper conclusion): affinity-aware MapReduce scheduling";
+  let table =
+    Numerics.Ascii_table.create
+      ~headers:
+        [ "profile"; "p"; "comm FIFO"; "comm affinity"; "comm zones"; "mkspan FIFO";
+          "mkspan affinity" ]
+  in
+  List.iter
+    (fun r ->
+      Numerics.Ascii_table.add_row table
+        [
+          r.profile;
+          Report.int_cell r.p;
+          Report.float_cell ~digits:6 r.fifo_comm;
+          Report.float_cell ~digits:6 r.affinity_comm;
+          Report.float_cell ~digits:6 r.zone_comm;
+          Report.float_cell ~digits:5 r.fifo_makespan;
+          Report.float_cell ~digits:5 r.affinity_makespan;
+        ])
+    rows;
+  Numerics.Ascii_table.print table

@@ -1,0 +1,30 @@
+(** Ablation of the paper's concluding proposal: adding data-affinity
+    awareness to the demand-driven MapReduce scheduler ("favoring among
+    all available tasks those that share blocks with data already stored
+    on a slave processor").
+
+    Runs the outer-product job under plain FIFO demand-driven scheduling
+    and under affinity-aware scheduling, on the same platforms, and
+    reports the map-phase communication of each against the zone-based
+    heterogeneous partitioning. *)
+
+type row = {
+  p : int;
+  profile : string;
+  fifo_comm : float;
+  affinity_comm : float;
+  zone_comm : float;  (** Heterogeneous Blocks (one zone per worker) *)
+  fifo_makespan : float;
+  affinity_makespan : float;
+}
+
+val run :
+  ?n:int ->
+  ?chunk:int ->
+  ?processor_counts:int list ->
+  ?trials:int ->
+  ?seed:int ->
+  unit ->
+  row list
+
+val print : row list -> unit

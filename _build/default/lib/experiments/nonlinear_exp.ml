@@ -1,0 +1,70 @@
+module Star = Platform.Star
+module Profiles = Platform.Profiles
+module Rng = Numerics.Rng
+
+type row = {
+  alpha : float;
+  p : int;
+  predicted : float;
+  measured_homogeneous : float;
+  measured_heterogeneous : float;
+  makespan : float;
+}
+
+let measured_fraction star cost ~total =
+  let allocation, _ =
+    Dlt.Nonlinear.equal_finish_allocation Dlt.Schedule.Parallel star cost ~total
+  in
+  Dlt.Fraction.done_fraction cost ~allocation ~total
+
+let run ?(alphas = [ 1.5; 2.; 3. ]) ?(processor_counts = [ 2; 4; 16; 64; 256 ])
+    ?(total = 1e4) ?(seed = 7) () =
+  let rng = Rng.create ~seed () in
+  let rows = ref [] in
+  List.iter
+    (fun alpha ->
+      let cost = Dlt.Cost_model.of_alpha alpha in
+      List.iter
+        (fun p ->
+          let hom = Profiles.generate (Rng.split rng) ~p Profiles.paper_homogeneous in
+          let het = Profiles.generate (Rng.split rng) ~p Profiles.paper_uniform in
+          let allocation, makespan =
+            Dlt.Nonlinear.equal_finish_allocation Dlt.Schedule.Parallel hom cost ~total
+          in
+          let measured_homogeneous =
+            Dlt.Fraction.done_fraction cost ~allocation ~total
+          in
+          rows :=
+            {
+              alpha;
+              p;
+              predicted = Dlt.Fraction.power_partial_fraction ~alpha ~p;
+              measured_homogeneous;
+              measured_heterogeneous = measured_fraction het cost ~total;
+              makespan;
+            }
+            :: !rows)
+        processor_counts)
+    alphas;
+  List.rev !rows
+
+let print rows =
+  Report.section "E1 (paper §2): divisible round of an N^alpha load — work fraction done";
+  let table =
+    Numerics.Ascii_table.create
+      ~headers:
+        [ "alpha"; "p"; "p^(1-a) predicted"; "measured (hom)"; "measured (het)"; "makespan" ]
+  in
+  List.iter
+    (fun r ->
+      Numerics.Ascii_table.add_row table
+        [
+          Report.float_cell r.alpha;
+          Report.int_cell r.p;
+          Report.float_cell ~digits:5 r.predicted;
+          Report.float_cell ~digits:5 r.measured_homogeneous;
+          Report.float_cell ~digits:5 r.measured_heterogeneous;
+          Report.float_cell r.makespan;
+        ])
+    rows;
+  Numerics.Ascii_table.print table

@@ -1,0 +1,106 @@
+module Profiles = Platform.Profiles
+module Rng = Numerics.Rng
+
+type bimodal_row = {
+  factor : float;
+  p : int;
+  measured_rho : float;
+  hom_over_lb : float;
+  bound : float;
+  sqrt_bound : float;
+}
+
+type general_row = {
+  p : int;
+  profile : string;
+  measured_rho : float;
+  general_bound : float;
+}
+
+let measured_rho star =
+  let r = Partition.Strategies.evaluate star in
+  r.Partition.Strategies.hom /. r.Partition.Strategies.het
+
+let run_bimodal ?(p = 20) ?(factors = [ 1.; 4.; 9.; 16.; 25.; 49.; 100. ]) () =
+  let rng = Rng.create ~seed:3 () in
+  List.map
+    (fun factor ->
+      let star =
+        Profiles.generate rng ~p (Profiles.Bimodal { slow = 1.; factor })
+      in
+      let r = Partition.Strategies.evaluate star in
+      {
+        factor;
+        p;
+        measured_rho = r.Partition.Strategies.hom /. r.Partition.Strategies.het;
+        hom_over_lb = r.Partition.Strategies.hom;
+        bound = Platform.Metrics.bimodal_rho_bound ~factor;
+        sqrt_bound = sqrt factor -. 1.;
+      })
+    factors
+
+let run_general ?(processor_counts = [ 10; 40; 100 ]) ?(trials = 20) ?(seed = 5) () =
+  let rng = Rng.create ~seed () in
+  let rows = ref [] in
+  let profiles = [ Profiles.paper_uniform; Profiles.paper_lognormal ] in
+  List.iter
+    (fun profile ->
+      List.iter
+        (fun p ->
+          let rhos = Array.make trials 0. in
+          let bounds = Array.make trials 0. in
+          for t = 0 to trials - 1 do
+            let star = Profiles.generate (Rng.split rng) ~p profile in
+            rhos.(t) <- measured_rho star;
+            bounds.(t) <- Platform.Metrics.hom_over_het_bound star
+          done;
+          rows :=
+            {
+              p;
+              profile = Profiles.name profile;
+              measured_rho = Numerics.Stats.mean rhos;
+              general_bound = Numerics.Stats.mean bounds;
+            }
+            :: !rows)
+        processor_counts)
+    profiles;
+  List.rev !rows
+
+let print_bimodal rows =
+  Report.section "E3 (paper §4.1.3): rho on half-slow / half-k-fast platforms";
+  let table =
+    Numerics.Ascii_table.create
+      ~headers:
+        [ "k"; "p"; "rho measured"; "hom/LB"; "(1+k)/(1+sqrt k)"; "sqrt k - 1" ]
+  in
+  List.iter
+    (fun r ->
+      Numerics.Ascii_table.add_row table
+        [
+          Report.float_cell r.factor;
+          Report.int_cell r.p;
+          Report.float_cell ~digits:4 r.measured_rho;
+          Report.float_cell ~digits:4 r.hom_over_lb;
+          Report.float_cell ~digits:4 r.bound;
+          Report.float_cell ~digits:4 r.sqrt_bound;
+        ])
+    rows;
+  Numerics.Ascii_table.print table
+
+let print_general rows =
+  Report.subsection "E3b: general bound rho >= (4/7)·Σs/(√s1·Σ√s)";
+  let table =
+    Numerics.Ascii_table.create
+      ~headers:[ "profile"; "p"; "rho measured"; "(4/7) bound" ]
+  in
+  List.iter
+    (fun r ->
+      Numerics.Ascii_table.add_row table
+        [
+          r.profile;
+          Report.int_cell r.p;
+          Report.float_cell ~digits:4 r.measured_rho;
+          Report.float_cell ~digits:4 r.general_bound;
+        ])
+    rows;
+  Numerics.Ascii_table.print table

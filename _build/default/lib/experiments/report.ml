@@ -1,0 +1,8 @@
+let mean_sd (s : Numerics.Stats.summary) = Printf.sprintf "%.4g ± %.2g" s.mean s.stddev
+let float_cell ?(digits = 4) v = Printf.sprintf "%.*g" digits v
+let int_cell = string_of_int
+
+let section title =
+  Printf.printf "\n=== %s ===\n%!" title
+
+let subsection title = Printf.printf "\n--- %s ---\n%!" title

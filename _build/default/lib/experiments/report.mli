@@ -1,0 +1,14 @@
+(** Shared formatting helpers for the experiment drivers: every
+    reproduced table/figure is printed as an aligned text table (the
+    paper's "rows/series") plus an optional ASCII chart of the shape. *)
+
+val mean_sd : Numerics.Stats.summary -> string
+(** ["mean ± sd"] with compact precision. *)
+
+val float_cell : ?digits:int -> float -> string
+val int_cell : int -> string
+
+val section : string -> unit
+(** Print a banner: [=== title ===]. *)
+
+val subsection : string -> unit

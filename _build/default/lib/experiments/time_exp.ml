@@ -1,0 +1,56 @@
+module Rng = Numerics.Rng
+module Profiles = Platform.Profiles
+
+type row = {
+  bandwidth : float;
+  het_ratio : float;
+  hom_ratio : float;
+  het_comm_share : float;
+}
+
+let run ?(p = 32) ?(n = 1e3) ?(bandwidths = [ 1e4; 1e2; 10.; 1.; 0.1 ]) ?(trials = 10)
+    ?(seed = 41) profile =
+  let rng = Rng.create ~seed () in
+  List.map
+    (fun bandwidth ->
+      let het_ratios = Array.make trials 0. in
+      let hom_ratios = Array.make trials 0. in
+      let comm_shares = Array.make trials 0. in
+      for t = 0 to trials - 1 do
+        let star = Profiles.generate ~bandwidth (Rng.split rng) ~p profile in
+        let bound = Partition.Timed.compute_bound star ~n in
+        let het = Partition.Timed.het star ~n in
+        let hom = Partition.Timed.hom_balanced star ~n in
+        het_ratios.(t) <- het.Partition.Timed.makespan /. bound;
+        hom_ratios.(t) <- hom.Partition.Timed.makespan /. bound;
+        comm_shares.(t) <-
+          het.Partition.Timed.comm_makespan /. het.Partition.Timed.makespan
+      done;
+      {
+        bandwidth;
+        het_ratio = Numerics.Stats.mean het_ratios;
+        hom_ratio = Numerics.Stats.mean hom_ratios;
+        het_comm_share = Numerics.Stats.mean comm_shares;
+      })
+    bandwidths
+
+let print ~profile rows =
+  Report.section
+    (Printf.sprintf
+       "E4 (extension): makespan vs compute bound under shrinking bandwidth (%s speeds)"
+       profile);
+  let table =
+    Numerics.Ascii_table.create
+      ~headers:[ "bandwidth"; "het makespan/bound"; "hom/k makespan/bound"; "het comm share" ]
+  in
+  List.iter
+    (fun r ->
+      Numerics.Ascii_table.add_row table
+        [
+          Report.float_cell r.bandwidth;
+          Report.float_cell ~digits:5 r.het_ratio;
+          Report.float_cell ~digits:5 r.hom_ratio;
+          Report.float_cell ~digits:4 r.het_comm_share;
+        ])
+    rows;
+  Numerics.Ascii_table.print table

@@ -1,0 +1,1 @@
+lib/linalg/block_cyclic.mli:

@@ -1,0 +1,1 @@
+lib/linalg/c25d.ml: Float

@@ -1,0 +1,1 @@
+lib/linalg/cannon.ml: Array Matrix

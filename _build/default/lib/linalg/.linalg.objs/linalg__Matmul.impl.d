@@ -1,0 +1,1 @@
+lib/linalg/matmul.ml: Array Matrix Partition Zone

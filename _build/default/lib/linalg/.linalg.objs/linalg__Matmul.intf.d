@@ -1,0 +1,1 @@
+lib/linalg/matmul.mli: Matrix Platform Zone

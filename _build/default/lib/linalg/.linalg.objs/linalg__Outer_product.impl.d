@@ -1,0 +1,1 @@
+lib/linalg/outer_product.ml: Array Matrix Partition Zone

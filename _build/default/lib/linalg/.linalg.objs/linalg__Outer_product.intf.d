@@ -1,0 +1,1 @@
+lib/linalg/outer_product.mli: Matrix Partition Zone

@@ -1,0 +1,1 @@
+lib/linalg/parallel_matmul.ml: Matrix Numerics Platform

@@ -1,0 +1,1 @@
+lib/linalg/summa.ml: Array List Matrix Numerics Zone

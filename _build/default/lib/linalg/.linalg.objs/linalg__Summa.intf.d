@@ -1,0 +1,1 @@
+lib/linalg/summa.mli: Matrix

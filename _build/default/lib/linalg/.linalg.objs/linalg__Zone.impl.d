@@ -1,0 +1,1 @@
+lib/linalg/zone.ml: Array Format List Numerics Partition Platform Printf

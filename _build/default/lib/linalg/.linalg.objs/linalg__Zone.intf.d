@@ -1,0 +1,1 @@
+lib/linalg/zone.mli: Format Partition Platform

@@ -1,0 +1,61 @@
+type t = { grid_rows : int; grid_cols : int; block : int; n : int }
+
+let create ~grid_rows ~grid_cols ~block ~n =
+  if grid_rows <= 0 || grid_cols <= 0 || block <= 0 || n <= 0 then
+    invalid_arg "Block_cyclic.create: all parameters must be positive";
+  { grid_rows; grid_cols; block; n }
+
+let grid_rows t = t.grid_rows
+let grid_cols t = t.grid_cols
+let processors t = t.grid_rows * t.grid_cols
+
+let owner t ~row ~col =
+  if row < 0 || row >= t.n || col < 0 || col >= t.n then
+    invalid_arg "Block_cyclic.owner: out of bounds";
+  let gr = row / t.block mod t.grid_rows in
+  let gc = col / t.block mod t.grid_cols in
+  (gr * t.grid_cols) + gc
+
+(* Distinct rows owned by grid-row [gr]: rows whose block index is ≡ gr
+   (mod grid_rows). *)
+let rows_of_grid_row t gr =
+  let count = ref 0 in
+  let blocks = (t.n + t.block - 1) / t.block in
+  for b = 0 to blocks - 1 do
+    if b mod t.grid_rows = gr then begin
+      let size = min t.block (t.n - (b * t.block)) in
+      count := !count + size
+    end
+  done;
+  !count
+
+let owned_rows t ~proc =
+  if proc < 0 || proc >= processors t then invalid_arg "Block_cyclic.owned_rows: bad proc";
+  rows_of_grid_row t (proc / t.grid_cols)
+
+let owned_cols t ~proc =
+  if proc < 0 || proc >= processors t then invalid_arg "Block_cyclic.owned_cols: bad proc";
+  let gc = proc mod t.grid_cols in
+  let count = ref 0 in
+  let blocks = (t.n + t.block - 1) / t.block in
+  for b = 0 to blocks - 1 do
+    if b mod t.grid_cols = gc then begin
+      let size = min t.block (t.n - (b * t.block)) in
+      count := !count + size
+    end
+  done;
+  !count
+
+let communication_volume t =
+  let sum = ref 0 in
+  for proc = 0 to processors t - 1 do
+    sum := !sum + owned_rows t ~proc + owned_cols t ~proc
+  done;
+  t.n * !sum
+
+let load t =
+  let loads = Array.make (processors t) 0 in
+  for proc = 0 to processors t - 1 do
+    loads.(proc) <- owned_rows t ~proc * owned_cols t ~proc
+  done;
+  loads

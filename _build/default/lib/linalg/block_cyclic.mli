@@ -1,0 +1,34 @@
+(** Two-dimensional block-cyclic distribution (the ScaLAPACK
+    virtualization layer mentioned in Section 4.2): blocks are scattered
+    cyclically over a [q × r] processor grid so that each processor
+    updates many scattered blocks at every step. *)
+
+type t
+
+val create : grid_rows:int -> grid_cols:int -> block:int -> n:int -> t
+(** Distribution of an [n × n] matrix in [block × block] tiles over a
+    [grid_rows × grid_cols] grid.  Raises [Invalid_argument] on
+    non-positive parameters. *)
+
+val grid_rows : t -> int
+val grid_cols : t -> int
+val processors : t -> int
+
+val owner : t -> row:int -> col:int -> int
+(** Processor (linear index [gr * grid_cols + gc]) owning element
+    [(row, col)]. *)
+
+val owned_rows : t -> proc:int -> int
+(** Number of distinct matrix rows with at least one element owned by
+    [proc]. *)
+
+val owned_cols : t -> proc:int -> int
+
+val communication_volume : t -> int
+(** Volume of the outer-product algorithm under this distribution:
+    [n · Σ_proc (owned_rows + owned_cols)] — at each of the [n] steps a
+    processor receives one [A] entry per owned row and one [B] entry per
+    owned column. *)
+
+val load : t -> int array
+(** Elements of [C] owned by each processor (balance check). *)

@@ -1,0 +1,92 @@
+type stats = { result : Matrix.t; words : int; messages : int; rounds : int }
+
+let block_of m ~b ~bi ~bj =
+  Matrix.init ~rows:b ~cols:b (fun i j -> Matrix.get m ((bi * b) + i) ((bj * b) + j))
+
+let blit_block target block ~b ~bi ~bj =
+  for i = 0 to b - 1 do
+    for j = 0 to b - 1 do
+      Matrix.set target ((bi * b) + i) ((bj * b) + j) (Matrix.get block i j)
+    done
+  done
+
+let accumulate c product =
+  for i = 0 to Matrix.rows c - 1 do
+    for j = 0 to Matrix.cols c - 1 do
+      Matrix.set c i j (Matrix.get c i j +. Matrix.get product i j)
+    done
+  done
+
+let distributed ~grid a b =
+  if grid < 1 then invalid_arg "Cannon.distributed: grid must be >= 1";
+  let n = Matrix.rows a in
+  if Matrix.cols a <> n || Matrix.rows b <> n || Matrix.cols b <> n then
+    invalid_arg "Cannon.distributed: square n x n matrices required";
+  if n mod grid <> 0 then invalid_arg "Cannon.distributed: grid must divide n";
+  let q = grid in
+  let bs = n / q in
+  let words = ref 0 and messages = ref 0 in
+  let transfer count =
+    (* [count] blocks change owner: each is a message of bs² words. *)
+    words := !words + (count * bs * bs);
+    messages := !messages + count
+  in
+  (* Local block storage, indexed by grid position. *)
+  let a_blocks = Array.init q (fun bi -> Array.init q (fun bj -> block_of a ~b:bs ~bi ~bj)) in
+  let b_blocks = Array.init q (fun bi -> Array.init q (fun bj -> block_of b ~b:bs ~bi ~bj)) in
+  let c_blocks = Array.init q (fun _ -> Array.init q (fun _ -> Matrix.create ~rows:bs ~cols:bs)) in
+  (* Initial skew: row i of A rotates left by i, column j of B up by j;
+     blocks with shift 0 stay put. *)
+  let rotate_row blocks bi ~by =
+    if by mod q <> 0 then begin
+      let row = Array.init q (fun bj -> blocks.(bi).((bj + by) mod q)) in
+      Array.iteri (fun bj block -> blocks.(bi).(bj) <- block) row;
+      transfer q
+    end
+  in
+  let rotate_col blocks bj ~by =
+    if by mod q <> 0 then begin
+      let col = Array.init q (fun bi -> blocks.((bi + by) mod q).(bj)) in
+      Array.iteri (fun bi block -> blocks.(bi).(bj) <- block) col;
+      transfer q
+    end
+  in
+  for bi = 0 to q - 1 do
+    rotate_row a_blocks bi ~by:bi
+  done;
+  for bj = 0 to q - 1 do
+    rotate_col b_blocks bj ~by:bj
+  done;
+  (* q rounds of multiply-accumulate, then unit rotations. *)
+  for round = 0 to q - 1 do
+    for bi = 0 to q - 1 do
+      for bj = 0 to q - 1 do
+        accumulate c_blocks.(bi).(bj) (Matrix.mul a_blocks.(bi).(bj) b_blocks.(bi).(bj))
+      done
+    done;
+    if round < q - 1 then begin
+      for bi = 0 to q - 1 do
+        rotate_row a_blocks bi ~by:1
+      done;
+      for bj = 0 to q - 1 do
+        rotate_col b_blocks bj ~by:1
+      done
+    end
+  done;
+  let result = Matrix.create ~rows:n ~cols:n in
+  for bi = 0 to q - 1 do
+    for bj = 0 to q - 1 do
+      blit_block result c_blocks.(bi).(bj) ~b:bs ~bi ~bj
+    done
+  done;
+  { result; words = !words; messages = !messages; rounds = q }
+
+let word_volume ~grid ~n =
+  let q = grid in
+  let bs = n / q in
+  let block = bs * bs in
+  (* Skew: rows/columns 1..q-1 move (q blocks each); rotations: q-1
+     rounds move every block of A and B. *)
+  let skew = 2 * (q - 1) * q * block in
+  let rotations = 2 * (q - 1) * q * q * block in
+  skew + rotations

@@ -1,0 +1,25 @@
+(** Cannon's algorithm: the classical memory-minimal distributed matrix
+    multiplication on a square [q × q] torus, included as a second
+    comparator next to SUMMA/rank-1 (Section 4.2 context).
+
+    After an initial skew (row [i] of [A] rotated left by [i], column
+    [j] of [B] rotated up by [j]) the grid performs [q] rounds of local
+    multiply-accumulate followed by a unit rotation of [A] (left) and
+    [B] (up).  Per-step communication is one [A] and one [B] block per
+    processor; total volume [≈ 2n²·q], the same order as SUMMA, but
+    with fixed-size point-to-point messages instead of broadcasts. *)
+
+type stats = {
+  result : Matrix.t;
+  words : int;  (** words moved, skew + rotations *)
+  messages : int;  (** block transfers *)
+  rounds : int;  (** [q] *)
+}
+
+val distributed : grid:int -> Matrix.t -> Matrix.t -> stats
+(** Multiply two [n × n] matrices on a [grid × grid] torus.  Requires
+    [grid >= 1] and [grid] dividing [n]. *)
+
+val word_volume : grid:int -> n:int -> int
+(** Closed form: skew movements plus [2·n²] per round for the [grid]
+    rounds (blocks that stay put during the skew are not counted). *)

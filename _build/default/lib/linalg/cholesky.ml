@@ -1,0 +1,89 @@
+(* Unblocked Cholesky of the diagonal block [k0, k1), reading/writing
+   the lower triangle, and updating rows below within those columns. *)
+let factor_panel l ~k0 ~k1 =
+  let n = Matrix.rows l in
+  for k = k0 to k1 - 1 do
+    let diag = ref (Matrix.get l k k) in
+    for m = k0 to k - 1 do
+      let v = Matrix.get l k m in
+      diag := !diag -. (v *. v)
+    done;
+    if !diag <= 0. then failwith "Cholesky.factorize: matrix not positive definite";
+    let pivot = sqrt !diag in
+    Matrix.set l k k pivot;
+    for i = k + 1 to n - 1 do
+      let acc = ref (Matrix.get l i k) in
+      for m = k0 to k - 1 do
+        acc := !acc -. (Matrix.get l i m *. Matrix.get l k m)
+      done;
+      Matrix.set l i k (!acc /. pivot)
+    done
+  done
+
+(* Trailing update: A(i,j) -= Σ_{m in panel} L(i,m)·L(j,m) for the
+   lower triangle below the panel. *)
+let update_trailing l ~k0 ~k1 =
+  let n = Matrix.rows l in
+  for i = k1 to n - 1 do
+    for j = k1 to i do
+      let acc = ref (Matrix.get l i j) in
+      for m = k0 to k1 - 1 do
+        acc := !acc -. (Matrix.get l i m *. Matrix.get l j m)
+      done;
+      Matrix.set l i j !acc
+    done
+  done
+
+let factorize ?(block = 32) a =
+  let n = Matrix.rows a in
+  if Matrix.cols a <> n then invalid_arg "Cholesky.factorize: square matrix required";
+  if block <= 0 then invalid_arg "Cholesky.factorize: block must be > 0";
+  let l = Matrix.copy a in
+  let k0 = ref 0 in
+  while !k0 < n do
+    let k1 = min n (!k0 + block) in
+    factor_panel l ~k0:!k0 ~k1;
+    update_trailing l ~k0:!k0 ~k1;
+    k0 := k1
+  done;
+  (* Zero the strictly upper triangle. *)
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      Matrix.set l i j 0.
+    done
+  done;
+  l
+
+let solve l rhs =
+  let n = Matrix.rows l in
+  if Array.length rhs <> n then invalid_arg "Cholesky.solve: rhs size mismatch";
+  let y = Array.copy rhs in
+  (* Forward: L y = rhs. *)
+  for i = 0 to n - 1 do
+    let acc = ref y.(i) in
+    for j = 0 to i - 1 do
+      acc := !acc -. (Matrix.get l i j *. y.(j))
+    done;
+    y.(i) <- !acc /. Matrix.get l i i
+  done;
+  (* Backward: Lᵀ x = y. *)
+  for i = n - 1 downto 0 do
+    let acc = ref y.(i) in
+    for j = i + 1 to n - 1 do
+      acc := !acc -. (Matrix.get l j i *. y.(j))
+    done;
+    y.(i) <- !acc /. Matrix.get l i i
+  done;
+  y
+
+let reconstruct l = Matrix.mul l (Matrix.transpose l)
+
+let log_determinant l =
+  let n = Matrix.rows l in
+  let acc = ref 0. in
+  for i = 0 to n - 1 do
+    acc := !acc +. log (Matrix.get l i i)
+  done;
+  2. *. !acc
+
+let flop_count ~n = float_of_int n ** 3. /. 3.

@@ -1,0 +1,20 @@
+(** Cholesky factorization of symmetric positive-definite matrices —
+    the third ScaLAPACK workhorse, with the same blocked right-looking
+    structure as {!Lu} (and half its flops). *)
+
+val factorize : ?block:int -> Matrix.t -> Matrix.t
+(** Lower-triangular [L] with [L·Lᵀ = A].  Raises [Invalid_argument]
+    on non-square input and [Failure] when the matrix is not (numerically)
+    positive definite.  [block] is the panel width (default 32). *)
+
+val solve : Matrix.t -> float array -> float array
+(** [solve l rhs] solves [A x = rhs] given [l = factorize a]. *)
+
+val reconstruct : Matrix.t -> Matrix.t
+(** [L·Lᵀ]. *)
+
+val log_determinant : Matrix.t -> float
+(** [log det A = 2·Σ log L_ii], given [l = factorize a]. *)
+
+val flop_count : n:int -> float
+(** [n³/3]. *)

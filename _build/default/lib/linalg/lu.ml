@@ -1,0 +1,139 @@
+type factorization = { lu : Matrix.t; pivots : int array; sign : float }
+
+let swap_rows m i j =
+  if i <> j then
+    for col = 0 to Matrix.cols m - 1 do
+      let tmp = Matrix.get m i col in
+      Matrix.set m i col (Matrix.get m j col);
+      Matrix.set m j col tmp
+    done
+
+(* Unblocked factorization of columns [k0, k1) over rows [k0, n),
+   updating only those columns (the panel); pivot rows swap across the
+   whole matrix so previously computed L columns stay consistent. *)
+let factorize_panel lu pivots sign ~k0 ~k1 =
+  let n = Matrix.rows lu in
+  for k = k0 to k1 - 1 do
+    (* Partial pivoting within the panel column. *)
+    let pivot = ref k in
+    for i = k + 1 to n - 1 do
+      if Float.abs (Matrix.get lu i k) > Float.abs (Matrix.get lu !pivot k) then pivot := i
+    done;
+    if Float.abs (Matrix.get lu !pivot k) < 1e-12 then failwith "Lu.factorize: singular matrix";
+    pivots.(k) <- !pivot;
+    if !pivot <> k then begin
+      swap_rows lu k !pivot;
+      sign := -. !sign
+    end;
+    let pivot_value = Matrix.get lu k k in
+    for i = k + 1 to n - 1 do
+      let multiplier = Matrix.get lu i k /. pivot_value in
+      Matrix.set lu i k multiplier;
+      for j = k + 1 to k1 - 1 do
+        Matrix.set lu i j (Matrix.get lu i j -. (multiplier *. Matrix.get lu k j))
+      done
+    done
+  done
+
+(* Apply the panel's pivoting and L factors to the trailing columns
+   [k1, n): row swaps, triangular solve for U rows, rank-b update. *)
+let update_trailing lu pivots ~k0 ~k1 =
+  let n = Matrix.rows lu in
+  if k1 < n then begin
+    (* Triangular solve: U(k, j) -= Σ L(k,m)·U(m,j) for k0 <= m < k. *)
+    for k = k0 to k1 - 1 do
+      for j = k1 to n - 1 do
+        let acc = ref (Matrix.get lu k j) in
+        for m = k0 to k - 1 do
+          acc := !acc -. (Matrix.get lu k m *. Matrix.get lu m j)
+        done;
+        Matrix.set lu k j !acc
+      done
+    done;
+    (* Rank-b update of the trailing submatrix. *)
+    for i = k1 to n - 1 do
+      for j = k1 to n - 1 do
+        let acc = ref (Matrix.get lu i j) in
+        for m = k0 to k1 - 1 do
+          acc := !acc -. (Matrix.get lu i m *. Matrix.get lu m j)
+        done;
+        Matrix.set lu i j !acc
+      done
+    done
+  end;
+  ignore pivots
+
+let factorize ?(block = 32) a =
+  let n = Matrix.rows a in
+  if Matrix.cols a <> n then invalid_arg "Lu.factorize: square matrix required";
+  if block <= 0 then invalid_arg "Lu.factorize: block must be > 0";
+  let lu = Matrix.copy a in
+  let pivots = Array.init n (fun i -> i) in
+  let sign = ref 1. in
+  let k0 = ref 0 in
+  while !k0 < n do
+    let k1 = min n (!k0 + block) in
+    (* The panel spans all trailing columns for the row swaps, so swap
+       first on the full rows via factorize_panel (which swaps whole
+       rows), then propagate to the trailing block. *)
+    factorize_panel lu pivots sign ~k0:!k0 ~k1;
+    update_trailing lu pivots ~k0:!k0 ~k1;
+    k0 := k1
+  done;
+  { lu; pivots; sign = !sign }
+
+let solve { lu; pivots; _ } rhs =
+  let n = Matrix.rows lu in
+  if Array.length rhs <> n then invalid_arg "Lu.solve: rhs size mismatch";
+  let x = Array.copy rhs in
+  (* Apply the recorded row swaps. *)
+  for k = 0 to n - 1 do
+    if pivots.(k) <> k then begin
+      let tmp = x.(k) in
+      x.(k) <- x.(pivots.(k));
+      x.(pivots.(k)) <- tmp
+    end
+  done;
+  (* Forward substitution with unit lower L. *)
+  for i = 1 to n - 1 do
+    let acc = ref x.(i) in
+    for j = 0 to i - 1 do
+      acc := !acc -. (Matrix.get lu i j *. x.(j))
+    done;
+    x.(i) <- !acc
+  done;
+  (* Back substitution with U. *)
+  for i = n - 1 downto 0 do
+    let acc = ref x.(i) in
+    for j = i + 1 to n - 1 do
+      acc := !acc -. (Matrix.get lu i j *. x.(j))
+    done;
+    x.(i) <- !acc /. Matrix.get lu i i
+  done;
+  x
+
+let determinant { lu; sign; _ } =
+  let n = Matrix.rows lu in
+  let det = ref sign in
+  for i = 0 to n - 1 do
+    det := !det *. Matrix.get lu i i
+  done;
+  !det
+
+let reconstruct { lu; pivots; _ } =
+  let n = Matrix.rows lu in
+  let lower =
+    Matrix.init ~rows:n ~cols:n (fun i j ->
+        if i = j then 1. else if i > j then Matrix.get lu i j else 0.)
+  in
+  let upper =
+    Matrix.init ~rows:n ~cols:n (fun i j -> if i <= j then Matrix.get lu i j else 0.)
+  in
+  let product = Matrix.mul lower upper in
+  (* Undo the row swaps (they were applied in order k = 0..n-1). *)
+  for k = n - 1 downto 0 do
+    if pivots.(k) <> k then swap_rows product k pivots.(k)
+  done;
+  product
+
+let flop_count ~n = 2. /. 3. *. (float_of_int n ** 3.)

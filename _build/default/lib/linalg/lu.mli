@@ -1,0 +1,28 @@
+(** LU factorization with partial pivoting — the other workhorse the
+    2.5D paper ([42]) covers, rounding out the dense-linear-algebra
+    substrate.  Right-looking blocked elimination, the same shape the
+    outer-product multiplication exploits: each step is a panel
+    factorization plus a rank-[b] trailing update. *)
+
+type factorization = {
+  lu : Matrix.t;  (** packed L (unit lower) and U (upper) *)
+  pivots : int array;  (** row swapped with row [i] at step [i] *)
+  sign : float;  (** determinant sign from the permutation *)
+}
+
+val factorize : ?block:int -> Matrix.t -> factorization
+(** Raises [Invalid_argument] on non-square input and [Failure] on
+    (numerically) singular matrices.  [block] is the panel width
+    (default 32). *)
+
+val solve : factorization -> float array -> float array
+(** Solve [A x = rhs] by forward/back substitution. *)
+
+val determinant : factorization -> float
+
+val reconstruct : factorization -> Matrix.t
+(** [P⁻¹ L U]: equals the original matrix up to rounding (tested). *)
+
+val flop_count : n:int -> float
+(** [2n³/3] — the super-linear cost that makes LU another "no free
+    lunch" workload. *)

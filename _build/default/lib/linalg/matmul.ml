@@ -1,0 +1,33 @@
+type stats = { per_worker : int array; total : int; result : Matrix.t }
+
+let distributed ~zones a b =
+  let n = Matrix.rows a in
+  if Matrix.cols a <> n || Matrix.rows b <> n || Matrix.cols b <> n then
+    invalid_arg "Matmul.distributed: square n x n matrices required";
+  (match Zone.validate_tiling ~n zones with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Matmul.distributed: " ^ msg));
+  let result = Matrix.create ~rows:n ~cols:n in
+  let per_worker = Array.make (Array.length zones) 0 in
+  (* Step k: rank-1 update with column k of A and row k of B.  Each
+     worker applies the update to its own zone using only the slices it
+     received, which we charge as communication. *)
+  for k = 0 to n - 1 do
+    Array.iteri
+      (fun w z ->
+        per_worker.(w) <- per_worker.(w) + Zone.half_perimeter z;
+        for i = z.Zone.row0 to z.Zone.row0 + z.Zone.rows - 1 do
+          let aik = Matrix.get a i k in
+          if aik <> 0. then
+            for j = z.Zone.col0 to z.Zone.col0 + z.Zone.cols - 1 do
+              Matrix.set result i j (Matrix.get result i j +. (aik *. Matrix.get b k j))
+            done
+        done)
+      zones
+  done;
+  { per_worker; total = Array.fold_left ( + ) 0 per_worker; result }
+
+let predicted_communication ~zones ~n = n * Zone.half_perimeter_sum zones
+
+let lower_bound_communication star ~n =
+  float_of_int n *. Partition.Lower_bound.communication star ~n:(float_of_int n)

@@ -1,0 +1,28 @@
+(** The outer-product matrix-multiplication algorithm of Section 4.2
+    (paper Figure 3, the ScaLAPACK scheme): [C = A × B] computed as [n]
+    successive rank-1 updates; at step [k] a worker owning a
+    [rows × cols] zone of [C] receives the matching [rows] entries of
+    column [k] of [A] and [cols] entries of row [k] of [B].
+
+    Total communication is therefore exactly
+    [n × Σ half-perimeters] — the identity that transfers the
+    outer-product partitioning results to matrix multiplication. *)
+
+type stats = {
+  per_worker : int array;  (** words received, counted during execution *)
+  total : int;
+  result : Matrix.t;
+}
+
+val distributed : zones:Zone.t array -> Matrix.t -> Matrix.t -> stats
+(** Requires square [n × n] inputs and zones tiling [n × n].  The
+    result is the true product (verified in tests against
+    {!Matrix.mul}); [total] satisfies
+    [total = n * Zone.half_perimeter_sum zones]. *)
+
+val predicted_communication : zones:Zone.t array -> n:int -> int
+(** [n * Σ (rows_i + cols_i)]. *)
+
+val lower_bound_communication : Platform.Star.t -> n:int -> float
+(** [n · 2n Σ √x_i]: the outer-product lower bound applied to the [n]
+    rank-1 steps. *)

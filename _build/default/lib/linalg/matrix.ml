@@ -1,0 +1,122 @@
+type t = { rows : int; cols : int; data : float array }
+
+let create ~rows ~cols =
+  if rows <= 0 || cols <= 0 then invalid_arg "Matrix.create: non-positive dimensions";
+  { rows; cols; data = Array.make (rows * cols) 0. }
+
+let init ~rows ~cols f =
+  let m = create ~rows ~cols in
+  for i = 0 to rows - 1 do
+    for j = 0 to cols - 1 do
+      m.data.((i * cols) + j) <- f i j
+    done
+  done;
+  m
+
+let identity n = init ~rows:n ~cols:n (fun i j -> if i = j then 1. else 0.)
+
+let random rng ~rows ~cols =
+  init ~rows ~cols (fun _ _ -> Numerics.Rng.uniform rng (-1.) 1.)
+
+let rows m = m.rows
+let cols m = m.cols
+
+let get m i j =
+  if i < 0 || i >= m.rows || j < 0 || j >= m.cols then invalid_arg "Matrix.get: out of bounds";
+  m.data.((i * m.cols) + j)
+
+let set m i j v =
+  if i < 0 || i >= m.rows || j < 0 || j >= m.cols then invalid_arg "Matrix.set: out of bounds";
+  m.data.((i * m.cols) + j) <- v
+
+let copy m = { m with data = Array.copy m.data }
+
+let map2 op a b =
+  if a.rows <> b.rows || a.cols <> b.cols then invalid_arg "Matrix: dimension mismatch";
+  { a with data = Array.init (Array.length a.data) (fun i -> op a.data.(i) b.data.(i)) }
+
+let add = map2 ( +. )
+let sub = map2 ( -. )
+let scale s m = { m with data = Array.map (fun x -> s *. x) m.data }
+
+let transpose m = init ~rows:m.cols ~cols:m.rows (fun i j -> m.data.((j * m.cols) + i))
+
+let mul a b =
+  if a.cols <> b.rows then invalid_arg "Matrix.mul: inner dimension mismatch";
+  let c = create ~rows:a.rows ~cols:b.cols in
+  for i = 0 to a.rows - 1 do
+    for k = 0 to a.cols - 1 do
+      let aik = a.data.((i * a.cols) + k) in
+      if aik <> 0. then
+        for j = 0 to b.cols - 1 do
+          c.data.((i * c.cols) + j) <-
+            c.data.((i * c.cols) + j) +. (aik *. b.data.((k * b.cols) + j))
+        done
+    done
+  done;
+  c
+
+let mul_blocked ?(block = 32) a b =
+  if a.cols <> b.rows then invalid_arg "Matrix.mul_blocked: inner dimension mismatch";
+  if block <= 0 then invalid_arg "Matrix.mul_blocked: block must be > 0";
+  let c = create ~rows:a.rows ~cols:b.cols in
+  let n = a.rows and m = b.cols and kk = a.cols in
+  let bi = ref 0 in
+  while !bi < n do
+    let i_hi = min n (!bi + block) in
+    let bk = ref 0 in
+    while !bk < kk do
+      let k_hi = min kk (!bk + block) in
+      let bj = ref 0 in
+      while !bj < m do
+        let j_hi = min m (!bj + block) in
+        for i = !bi to i_hi - 1 do
+          for k = !bk to k_hi - 1 do
+            let aik = a.data.((i * kk) + k) in
+            if aik <> 0. then
+              for j = !bj to j_hi - 1 do
+                c.data.((i * m) + j) <- c.data.((i * m) + j) +. (aik *. b.data.((k * m) + j))
+              done
+          done
+        done;
+        bj := j_hi
+      done;
+      bk := k_hi
+    done;
+    bi := i_hi
+  done;
+  c
+
+let outer a b =
+  let rows = Array.length a and cols = Array.length b in
+  if rows = 0 || cols = 0 then invalid_arg "Matrix.outer: empty vector";
+  init ~rows ~cols (fun i j -> a.(i) *. b.(j))
+
+let frobenius m = sqrt (Numerics.Kahan.sum_by (fun x -> x *. x) m.data)
+
+let max_abs_diff a b =
+  if a.rows <> b.rows || a.cols <> b.cols then invalid_arg "Matrix.max_abs_diff: dimension mismatch";
+  let worst = ref 0. in
+  Array.iteri
+    (fun i x ->
+      let d = Float.abs (x -. b.data.(i)) in
+      if d > !worst then worst := d)
+    a.data;
+  !worst
+
+let approx_equal ?(tol = 1e-9) a b =
+  let magnitude = Float.max (frobenius a) (frobenius b) in
+  max_abs_diff a b <= tol *. (1. +. magnitude)
+
+let pp ppf m =
+  Format.fprintf ppf "@[<v>";
+  for i = 0 to min (m.rows - 1) 9 do
+    Format.fprintf ppf "[";
+    for j = 0 to min (m.cols - 1) 9 do
+      Format.fprintf ppf "%8.3g " m.data.((i * m.cols) + j)
+    done;
+    if m.cols > 10 then Format.fprintf ppf "...";
+    Format.fprintf ppf "]@,"
+  done;
+  if m.rows > 10 then Format.fprintf ppf "...@,";
+  Format.fprintf ppf "@]"

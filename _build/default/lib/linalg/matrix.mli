@@ -1,0 +1,41 @@
+(** Dense row-major float matrices — the substrate for the outer-product
+    and matrix-multiplication experiments of Section 4. *)
+
+type t
+
+val create : rows:int -> cols:int -> t
+(** Zero-filled.  Raises [Invalid_argument] on non-positive dims. *)
+
+val init : rows:int -> cols:int -> (int -> int -> float) -> t
+val identity : int -> t
+val random : Numerics.Rng.t -> rows:int -> cols:int -> t
+(** Entries uniform in [\[-1, 1)]. *)
+
+val rows : t -> int
+val cols : t -> int
+val get : t -> int -> int -> float
+val set : t -> int -> int -> float -> unit
+val copy : t -> t
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val scale : float -> t -> t
+val transpose : t -> t
+
+val mul : t -> t -> t
+(** Naive triple loop, [i k j] order for cache friendliness. *)
+
+val mul_blocked : ?block:int -> t -> t -> t
+(** Tiled multiplication (default tile 32). *)
+
+val outer : float array -> float array -> t
+(** [outer a b] is the [|a| × |b|] matrix of all products [a_i·b_j]
+    (Section 4.1). *)
+
+val frobenius : t -> float
+val max_abs_diff : t -> t -> float
+val approx_equal : ?tol:float -> t -> t -> bool
+(** Max-norm comparison with tolerance [tol] (default 1e-9) scaled by
+    the magnitude of the entries. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,68 @@
+type stats = { per_worker : int array; total : int; result : Matrix.t }
+
+let sequential a b = Matrix.outer a b
+
+let distributed ~zones a b =
+  let n = Array.length a in
+  if Array.length b <> n then invalid_arg "Outer_product.distributed: |a| <> |b|";
+  (match Zone.validate_tiling ~n zones with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Outer_product.distributed: " ^ msg));
+  let result = Matrix.create ~rows:n ~cols:n in
+  let per_worker =
+    Array.map
+      (fun z ->
+        (* The worker receives a[row0..row0+rows) and b[col0..col0+cols),
+           then fills its zone of the result. *)
+        for i = z.Zone.row0 to z.Zone.row0 + z.Zone.rows - 1 do
+          for j = z.Zone.col0 to z.Zone.col0 + z.Zone.cols - 1 do
+            Matrix.set result i j (a.(i) *. b.(j))
+          done
+        done;
+        Zone.half_perimeter z)
+      zones
+  in
+  { per_worker; total = Array.fold_left ( + ) 0 per_worker; result }
+
+let demand_driven_blocks ?(dedup = false) (schedule : Partition.Block_hom.result) ~n_side a b =
+  let n = Array.length a in
+  if Array.length b <> n then invalid_arg "Outer_product.demand_driven_blocks: |a| <> |b|";
+  if n_side <= 0 || n mod n_side <> 0 then
+    invalid_arg "Outer_product.demand_driven_blocks: n_side must divide |a|";
+  let blocks_per_side = n / n_side in
+  let blocks = blocks_per_side * blocks_per_side in
+  if Array.length schedule.Partition.Block_hom.owners < blocks then
+    invalid_arg "Outer_product.demand_driven_blocks: schedule has too few blocks";
+  let p = Array.length schedule.Partition.Block_hom.per_worker in
+  let per_worker = Array.make p 0 in
+  let result = Matrix.create ~rows:n ~cols:n in
+  let have_a = Array.init p (fun _ -> Array.make n false) in
+  let have_b = Array.init p (fun _ -> Array.make n false) in
+  let charge cache worker lo len =
+    if dedup then begin
+      let fresh = ref 0 in
+      for idx = lo to lo + len - 1 do
+        if not cache.(worker).(idx) then begin
+          cache.(worker).(idx) <- true;
+          incr fresh
+        end
+      done;
+      !fresh
+    end
+    else len
+  in
+  for block = 0 to blocks - 1 do
+    let owner = schedule.Partition.Block_hom.owners.(block) in
+    let brow = block / blocks_per_side and bcol = block mod blocks_per_side in
+    let row0 = brow * n_side and col0 = bcol * n_side in
+    per_worker.(owner) <-
+      per_worker.(owner)
+      + charge have_a owner row0 n_side
+      + charge have_b owner col0 n_side;
+    for i = row0 to row0 + n_side - 1 do
+      for j = col0 to col0 + n_side - 1 do
+        Matrix.set result i j (a.(i) *. b.(j))
+      done
+    done
+  done;
+  { per_worker; total = Array.fold_left ( + ) 0 per_worker; result }

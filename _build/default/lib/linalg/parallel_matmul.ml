@@ -1,0 +1,18 @@
+let multiply ?domains a b =
+  if Matrix.cols a <> Matrix.rows b then
+    invalid_arg "Parallel_matmul.multiply: inner dimension mismatch";
+  let rows = Matrix.rows a and cols = Matrix.cols b and inner = Matrix.cols a in
+  let c = Matrix.create ~rows ~cols in
+  (* Rows of [c] are disjoint, so per-row bodies are race-free. *)
+  Numerics.Parallel.parallel_for ?domains rows (fun i ->
+      for k = 0 to inner - 1 do
+        let aik = Matrix.get a i k in
+        if aik <> 0. then
+          for j = 0 to cols - 1 do
+            Matrix.set c i j (Matrix.get c i j +. (aik *. Matrix.get b k j))
+          done
+      done);
+  c
+
+let heterogeneous_bands star ~rows =
+  Numerics.Apportion.largest_remainder ~weights:(Platform.Star.speeds star) ~total:rows

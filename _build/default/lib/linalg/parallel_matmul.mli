@@ -1,0 +1,14 @@
+(** Shared-memory parallel matrix multiplication over OCaml 5 domains:
+    the result rows are partitioned into contiguous bands, one per
+    domain — the same row-band decomposition the DLT image workload
+    uses, but executed on real cores. *)
+
+val multiply : ?domains:int -> Matrix.t -> Matrix.t -> Matrix.t
+(** Same result as {!Matrix.mul}; [domains] defaults to the
+    recommended domain count. *)
+
+val heterogeneous_bands :
+  Platform.Star.t -> rows:int -> int array
+(** Row counts proportional to worker speeds (largest remainder): how a
+    heterogeneity-aware runtime would cut the band work; exposed for
+    the examples and tests. *)

@@ -1,0 +1,66 @@
+let schoolbook a b =
+  let na = Array.length a and nb = Array.length b in
+  if na = 0 || nb = 0 then invalid_arg "Poly.schoolbook: empty polynomial";
+  let result = Array.make (na + nb - 1) 0. in
+  for i = 0 to na - 1 do
+    let ai = a.(i) in
+    if ai <> 0. then
+      for j = 0 to nb - 1 do
+        result.(i + j) <- result.(i + j) +. (ai *. b.(j))
+      done
+  done;
+  result
+
+let add_into target offset source =
+  Array.iteri (fun i v -> target.(offset + i) <- target.(offset + i) +. v) source
+
+let rec karatsuba ?(cutoff = 32) a b =
+  let na = Array.length a and nb = Array.length b in
+  if na = 0 || nb = 0 then invalid_arg "Poly.karatsuba: empty polynomial";
+  if na <= cutoff || nb <= cutoff || na <> nb then schoolbook a b
+  else begin
+    let half = na / 2 in
+    let a_low = Array.sub a 0 half and a_high = Array.sub a half (na - half) in
+    let b_low = Array.sub b 0 half and b_high = Array.sub b half (nb - half) in
+    let low = karatsuba ~cutoff a_low b_low in
+    let high = karatsuba ~cutoff a_high b_high in
+    (* (a_low + a_high)(b_low + b_high); pad the shorter halves. *)
+    let width = max (Array.length a_low) (Array.length a_high) in
+    let padded part = Array.init width (fun i -> if i < Array.length part then part.(i) else 0.) in
+    let a_sum = Array.map2 ( +. ) (padded a_low) (padded a_high) in
+    let b_sum = Array.map2 ( +. ) (padded b_low) (padded b_high) in
+    let middle = karatsuba ~cutoff a_sum b_sum in
+    let result = Array.make (na + nb - 1) 0. in
+    add_into result 0 low;
+    add_into result (2 * half) high;
+    let cross = Array.copy middle in
+    (* cross = middle - low - high, aligned at [half]. *)
+    Array.iteri (fun i v -> if i < Array.length cross then cross.(i) <- cross.(i) -. v) low;
+    Array.iteri (fun i v -> if i < Array.length cross then cross.(i) <- cross.(i) -. v) high;
+    add_into result half cross;
+    result
+  end
+
+type stats = { per_worker : int array; total : int; result : float array }
+
+let distributed ~zones a b =
+  let n = Array.length a in
+  if Array.length b <> n then invalid_arg "Poly.distributed: |a| <> |b|";
+  (match Zone.validate_tiling ~n zones with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Poly.distributed: " ^ msg));
+  let result = Array.make ((2 * n) - 1) 0. in
+  let per_worker =
+    Array.map
+      (fun z ->
+        (* The worker receives a[row0..) and b[col0..) slices and
+           contributes the partial coefficient sums of its zone. *)
+        for i = z.Zone.row0 to z.Zone.row0 + z.Zone.rows - 1 do
+          for j = z.Zone.col0 to z.Zone.col0 + z.Zone.cols - 1 do
+            result.(i + j) <- result.(i + j) +. (a.(i) *. b.(j))
+          done
+        done;
+        Zone.half_perimeter z)
+      zones
+  in
+  { per_worker; total = Array.fold_left ( + ) 0 per_worker; result }

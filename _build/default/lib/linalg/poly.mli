@@ -1,0 +1,32 @@
+(** Polynomial multiplication: the other quadratic workload the DLT
+    literature tried to treat as divisible (the cloud polynomial
+    products of Iyer-Veeravalli-Krishnamoorthy, ref [20] of the paper).
+
+    The product of two degree-[(n-1)] polynomials needs all [n²]
+    elementary products [a_i·b_j] (coefficient [k] sums those with
+    [i + j = k]): the computation domain is the same [n × n] square as
+    the outer product, so the Section 4 partitioning theory applies
+    verbatim — a worker assigned a [rows × cols] zone needs
+    [rows + cols] coefficients. *)
+
+val schoolbook : float array -> float array -> float array
+(** The [O(n²)] product; result length [|a| + |b| - 1].  Raises
+    [Invalid_argument] on empty inputs. *)
+
+val karatsuba : ?cutoff:int -> float array -> float array -> float array
+(** [O(n^1.585)] divide-and-conquer product (sequential reference used
+    to check that sub-quadratic algorithms agree); falls back to
+    {!schoolbook} below [cutoff] (default 32). *)
+
+type stats = {
+  per_worker : int array;  (** coefficients received by each worker *)
+  total : int;
+  result : float array;
+}
+
+val distributed : zones:Zone.t array -> float array -> float array -> stats
+(** Compute the product under a zone distribution of the [n × n]
+    product domain ([n = |a| = |b|], zones must tile it): each worker
+    receives its [a]/[b] slices (half-perimeter words) and emits
+    partial coefficient sums, which the master adds.  The result equals
+    {!schoolbook}. *)

@@ -1,0 +1,42 @@
+let quadrant m ~half ~qi ~qj =
+  Matrix.init ~rows:half ~cols:half (fun i j ->
+      let row = (qi * half) + i and col = (qj * half) + j in
+      if row < Matrix.rows m && col < Matrix.cols m then Matrix.get m row col else 0.)
+
+let assemble ~n ~half c11 c12 c21 c22 =
+  Matrix.init ~rows:n ~cols:n (fun i j ->
+      let quadrant = if i < half then (if j < half then c11 else c12)
+                     else if j < half then c21 else c22 in
+      Matrix.get quadrant (i mod half) (j mod half))
+
+let rec multiply ?(cutoff = 64) a b =
+  let n = Matrix.rows a in
+  if Matrix.cols a <> n || Matrix.rows b <> n || Matrix.cols b <> n then
+    invalid_arg "Strassen.multiply: square matrices of equal size required";
+  if n <= cutoff then Matrix.mul_blocked a b
+  else begin
+    let half = (n + 1) / 2 in
+    let a11 = quadrant a ~half ~qi:0 ~qj:0 and a12 = quadrant a ~half ~qi:0 ~qj:1 in
+    let a21 = quadrant a ~half ~qi:1 ~qj:0 and a22 = quadrant a ~half ~qi:1 ~qj:1 in
+    let b11 = quadrant b ~half ~qi:0 ~qj:0 and b12 = quadrant b ~half ~qi:0 ~qj:1 in
+    let b21 = quadrant b ~half ~qi:1 ~qj:0 and b22 = quadrant b ~half ~qi:1 ~qj:1 in
+    let mul = multiply ~cutoff in
+    let m1 = mul (Matrix.add a11 a22) (Matrix.add b11 b22) in
+    let m2 = mul (Matrix.add a21 a22) b11 in
+    let m3 = mul a11 (Matrix.sub b12 b22) in
+    let m4 = mul a22 (Matrix.sub b21 b11) in
+    let m5 = mul (Matrix.add a11 a12) b22 in
+    let m6 = mul (Matrix.sub a21 a11) (Matrix.add b11 b12) in
+    let m7 = mul (Matrix.sub a12 a22) (Matrix.add b21 b22) in
+    let c11 = Matrix.add (Matrix.sub (Matrix.add m1 m4) m5) m7 in
+    let c12 = Matrix.add m3 m5 in
+    let c21 = Matrix.add m2 m4 in
+    let c22 = Matrix.add (Matrix.add (Matrix.sub m1 m2) m3) m6 in
+    let padded = assemble ~n:(2 * half) ~half c11 c12 c21 c22 in
+    if 2 * half = n then padded
+    else Matrix.init ~rows:n ~cols:n (fun i j -> Matrix.get padded i j)
+  end
+
+let rec operation_count ~n ~cutoff =
+  if n <= cutoff then float_of_int n ** 3.
+  else 7. *. operation_count ~n:((n + 1) / 2) ~cutoff

@@ -1,0 +1,14 @@
+(** Strassen's sub-cubic multiplication — the sequential fast-matmul
+    reference.  Its existence is exactly why the "cost = N³" framing of
+    quadratic/cubic workloads in the DLT literature is a modelling
+    choice; here it doubles as an independent oracle for the
+    distributed algorithms' results. *)
+
+val multiply : ?cutoff:int -> Matrix.t -> Matrix.t -> Matrix.t
+(** [O(n^2.807)] product of two square matrices; pads odd sizes and
+    falls back to {!Matrix.mul_blocked} below [cutoff] (default 64).
+    Raises [Invalid_argument] on non-square or mismatched inputs. *)
+
+val operation_count : n:int -> cutoff:int -> float
+(** Model of the number of scalar multiplications performed (7 branches
+    per halving until the cutoff), for the complexity tests. *)

@@ -1,0 +1,58 @@
+type stats = { result : Matrix.t; words : int; messages : int; steps : int }
+
+let grid_zones ~grid_rows ~grid_cols ~n =
+  let rows = Numerics.Apportion.largest_remainder ~weights:(Array.make grid_rows 1.) ~total:n in
+  let cols = Numerics.Apportion.largest_remainder ~weights:(Array.make grid_cols 1.) ~total:n in
+  let zones = ref [] in
+  let row0 = ref 0 in
+  Array.iter
+    (fun h ->
+      let col0 = ref 0 in
+      Array.iter
+        (fun w ->
+          zones := { Zone.row0 = !row0; rows = h; col0 = !col0; cols = w } :: !zones;
+          col0 := !col0 + w)
+        cols;
+      row0 := !row0 + h)
+    rows;
+  Array.of_list (List.rev !zones)
+
+let distributed ~grid_rows ~grid_cols ~panel a b =
+  if grid_rows <= 0 || grid_cols <= 0 then invalid_arg "Summa.distributed: bad grid";
+  let n = Matrix.rows a in
+  if Matrix.cols a <> n || Matrix.rows b <> n || Matrix.cols b <> n then
+    invalid_arg "Summa.distributed: square n x n matrices required";
+  if panel < 1 || panel > n then invalid_arg "Summa.distributed: panel out of range";
+  let zones = grid_zones ~grid_rows ~grid_cols ~n in
+  let result = Matrix.create ~rows:n ~cols:n in
+  let words = ref 0 and messages = ref 0 and steps = ref 0 in
+  let k0 = ref 0 in
+  while !k0 < n do
+    let width = min panel (n - !k0) in
+    incr steps;
+    Array.iter
+      (fun z ->
+        (* Receive the A panel slice (rows × width) and B panel slice
+           (width × cols) for this step: 2 messages. *)
+        words := !words + (width * Zone.half_perimeter z);
+        messages := !messages + 2;
+        for i = z.Zone.row0 to z.Zone.row0 + z.Zone.rows - 1 do
+          for k = !k0 to !k0 + width - 1 do
+            let aik = Matrix.get a i k in
+            if aik <> 0. then
+              for j = z.Zone.col0 to z.Zone.col0 + z.Zone.cols - 1 do
+                Matrix.set result i j (Matrix.get result i j +. (aik *. Matrix.get b k j))
+              done
+          done
+        done)
+      zones;
+    k0 := !k0 + width
+  done;
+  { result; words = !words; messages = !messages; steps = !steps }
+
+let word_volume ~grid_rows ~grid_cols ~n =
+  let zones = grid_zones ~grid_rows ~grid_cols ~n in
+  n * Zone.half_perimeter_sum zones
+
+let message_count ~grid_rows ~grid_cols ~n ~panel =
+  2 * grid_rows * grid_cols * ((n + panel - 1) / panel)

@@ -1,0 +1,27 @@
+(** SUMMA — the blocked (panel) version of the outer-product algorithm
+    of Figure 3, as implemented by ScaLAPACK on a processor grid.
+
+    Rank-1 updates are grouped into panels of [panel] columns/rows: the
+    word volume is unchanged (still [n·Σ(rows_p + cols_p)]) but the
+    number of messages drops by a factor [panel] — the latency/bandwidth
+    trade-off that justifies blocking in practice. *)
+
+type stats = {
+  result : Matrix.t;
+  words : int;  (** total words received by all processors *)
+  messages : int;  (** total broadcast messages received *)
+  steps : int;  (** [⌈n/panel⌉] *)
+}
+
+val distributed :
+  grid_rows:int -> grid_cols:int -> panel:int -> Matrix.t -> Matrix.t -> stats
+(** Multiply two square [n × n] matrices on a [grid_rows × grid_cols]
+    grid of equal zones.  Requires positive grid dimensions and
+    [1 <= panel <= n]. *)
+
+val word_volume : grid_rows:int -> grid_cols:int -> n:int -> int
+(** Closed form [n · Σ_p (rows_p + cols_p)] for the equal-zone grid —
+    independent of [panel]. *)
+
+val message_count : grid_rows:int -> grid_cols:int -> n:int -> panel:int -> int
+(** [2 · p · ⌈n/panel⌉]. *)

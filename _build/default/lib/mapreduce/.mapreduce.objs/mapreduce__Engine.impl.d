@@ -1,0 +1,1 @@
+lib/mapreduce/engine.ml: Array Hashtbl List Scheduler Shuffle Task

@@ -1,0 +1,1 @@
+lib/mapreduce/engine.mli: Platform Scheduler Shuffle Task

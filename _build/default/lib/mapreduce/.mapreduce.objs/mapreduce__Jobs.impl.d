@@ -1,0 +1,1 @@
+lib/mapreduce/jobs.ml: Array Engine Float Int List Sortlib String Task

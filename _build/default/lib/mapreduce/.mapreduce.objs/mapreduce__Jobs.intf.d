@@ -1,0 +1,1 @@
+lib/mapreduce/jobs.mli: Engine

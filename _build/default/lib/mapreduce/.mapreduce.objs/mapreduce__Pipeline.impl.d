@@ -1,0 +1,1 @@
+lib/mapreduce/pipeline.ml: Array Engine Float Jobs List Task

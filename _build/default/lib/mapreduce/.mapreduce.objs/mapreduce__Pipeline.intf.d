@@ -1,0 +1,1 @@
+lib/mapreduce/pipeline.mli: Engine Platform Scheduler

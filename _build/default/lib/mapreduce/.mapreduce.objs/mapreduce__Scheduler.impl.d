@@ -1,0 +1,1 @@
+lib/mapreduce/scheduler.ml: Array Des Float Hashtbl List Logs Numerics Platform Task

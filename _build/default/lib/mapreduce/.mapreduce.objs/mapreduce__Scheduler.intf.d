@@ -1,0 +1,1 @@
+lib/mapreduce/scheduler.mli: Numerics Platform Task

@@ -1,0 +1,1 @@
+lib/mapreduce/shuffle.ml: Array Hashtbl List Numerics Platform

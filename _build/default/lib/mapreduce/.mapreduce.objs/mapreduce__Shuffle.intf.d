@@ -1,0 +1,1 @@
+lib/mapreduce/shuffle.mli: Platform

@@ -1,0 +1,1 @@
+lib/mapreduce/timeline.ml: Array Des List Platform Printf Scheduler

@@ -1,0 +1,1 @@
+lib/mapreduce/timeline.mli: Des Platform Scheduler

@@ -1,0 +1,112 @@
+type 'state step =
+  | Step : {
+      name : string;
+      job : 'state -> ('k, 'v) Engine.job;
+      reduce : 'k -> 'v list -> 'v;
+      collect : 'state -> ('k * 'v) list -> 'state;
+    }
+      -> 'state step
+
+type stats = {
+  steps : (string * float * float) list;
+  communication : float;
+  makespan : float;
+}
+
+let run ?config star ~init ~steps =
+  let state = ref init in
+  let rows = ref [] in
+  List.iter
+    (fun (Step { name; job; reduce; collect }) ->
+      let result = Engine.run ?config star (job !state) ~reduce in
+      let communication = Engine.total_communication result in
+      rows := (name, communication, result.Engine.makespan) :: !rows;
+      state := collect !state result.Engine.output)
+    steps;
+  let steps = List.rev !rows in
+  ( !state,
+    {
+      steps;
+      communication = List.fold_left (fun acc (_, c, _) -> acc +. c) 0. steps;
+      makespan = List.fold_left (fun acc (_, _, m) -> acc +. m) 0. steps;
+    } )
+
+let sort ~keys ~chunk ~p =
+  let n = Array.length keys in
+  if n = 0 || chunk <= 0 || n mod chunk <> 0 then
+    invalid_arg "Pipeline.sort: chunk must be a positive divisor of |keys|";
+  if p < 1 then invalid_arg "Pipeline.sort: p must be >= 1";
+  let chunks = n / chunk in
+  let splitters = ref [||] in
+  let sampling =
+    Step
+      {
+        name = "sample + select splitters";
+        job =
+          (fun _ ->
+            {
+              Engine.tasks =
+                Array.init chunks (fun t ->
+                    Task.make ~id:t ~data_ids:[| t |] ~cost:(float_of_int chunk));
+              execute =
+                (fun t ->
+                  (* p regular samples from the task's (sorted) chunk. *)
+                  let local = Array.sub keys (t * chunk) chunk in
+                  Array.sort Float.compare local;
+                  List.init p (fun j -> (0, [| local.(j * chunk / p) |])));
+              block_size = (fun _ -> float_of_int chunk);
+            });
+        reduce = (fun _ samples -> Array.concat samples);
+        collect =
+          (fun state output ->
+            let samples = Array.concat (List.map snd output) in
+            Array.sort Float.compare samples;
+            let m = Array.length samples in
+            splitters :=
+              (if p = 1 then [||]
+               else
+                 Array.init (p - 1) (fun j -> samples.(min ((j + 1) * m / p) (m - 1))));
+            state);
+      }
+  in
+  let sorting =
+    Step
+      {
+        name = "bucket + sort";
+        job = (fun state -> Jobs.distributed_sort ~keys:state ~chunk ~splitters:!splitters);
+        reduce =
+          (fun _ runs ->
+            let merged = Array.concat runs in
+            Array.sort Float.compare merged;
+            merged);
+        collect = (fun _ output -> Jobs.assemble_sorted output);
+      }
+  in
+  [ sampling; sorting ]
+
+let matmul ~a ~b ~n ~chunk =
+  (* State: the flat row-major result, with the phase-1 partial blocks
+     stashed alongside via a closure-free encoding — phase 2's job is
+     built from phase 1's output, so the state between the steps is the
+     phase-1 output itself, smuggled through a ref captured by both
+     steps. *)
+  let phase1_output = ref [] in
+  [
+    Step
+      {
+        name = "block products";
+        job = (fun _ -> Jobs.matmul_phase1 ~a ~b ~n ~chunk);
+        reduce = (fun _ -> function [ one ] -> one | many -> Jobs.sum_blocks () many);
+        collect =
+          (fun state output ->
+            phase1_output := output;
+            state);
+      };
+    Step
+      {
+        name = "partial sums";
+        job = (fun _ -> Jobs.matmul_phase2 ~phase1_output:!phase1_output ~chunk);
+        reduce = Jobs.sum_blocks;
+        collect = (fun _ output -> Jobs.assemble_blocks output ~n ~chunk);
+      };
+  ]

@@ -1,0 +1,44 @@
+(** Sequences of MapReduce jobs — the paper's option (ii) for
+    non-linear workloads ([25]) as a first-class construct.
+
+    A pipeline threads a state value through steps; each step builds a
+    job from the current state (the key/value types are local to the
+    step) and folds the job's reduced output back into the state.
+    Communication and makespan accumulate across steps (jobs run one
+    after the other, as in Hadoop job chains). *)
+
+type 'state step =
+  | Step : {
+      name : string;
+      job : 'state -> ('k, 'v) Engine.job;
+      reduce : 'k -> 'v list -> 'v;
+      collect : 'state -> ('k * 'v) list -> 'state;
+    }
+      -> 'state step
+
+type stats = {
+  steps : (string * float * float) list;
+      (** per step: name, total communication, makespan *)
+  communication : float;  (** summed over steps *)
+  makespan : float;  (** summed over steps (sequential chain) *)
+}
+
+val run :
+  ?config:Scheduler.config ->
+  Platform.Star.t ->
+  init:'state ->
+  steps:'state step list ->
+  'state * stats
+
+val matmul :
+  a:(int -> int -> float) -> b:(int -> int -> float) -> n:int -> chunk:int ->
+  float array step list
+(** The two-phase matrix product as a pipeline over the flat row-major
+    result state (start from [Array.make (n*n) 0.]). *)
+
+val sort : keys:float array -> chunk:int -> p:int -> float array step list
+(** Section 3 end to end as a two-job pipeline: job 1 draws regular
+    samples from every chunk and selects the [p - 1] splitters (the
+    preprocessing the paper says makes sorting divisible); job 2 buckets
+    and sorts.  Start from the unsorted [keys]; the final state is the
+    sorted array. *)

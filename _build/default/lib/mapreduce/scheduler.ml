@@ -1,0 +1,191 @@
+module Star = Platform.Star
+module Processor = Platform.Processor
+
+let src = Logs.Src.create "nldl.mapreduce" ~doc:"MapReduce map-phase scheduler"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type policy = Fifo | Affinity
+type config = { policy : policy; speculation : bool }
+
+let default_config = { policy = Fifo; speculation = false }
+
+type assignment = {
+  task : int;
+  worker : int;
+  start : float;
+  fetch_end : float;
+  finish : float;
+  fetched : float;
+}
+
+type outcome = {
+  assignments : assignment list;
+  completion : float array;
+  winner : int array;
+  makespan : float;
+  busy_until : float array;
+  communication : float;
+  per_worker_comm : float array;
+  per_worker_tasks : int array;
+  duplicates : int;
+}
+
+(* Doubly-linked list over task indices for O(1) removal and O(pending)
+   scans during affinity selection. *)
+module Pending = struct
+  type t = { next : int array; prev : int array; mutable count : int }
+  (* Virtual head at index n. *)
+
+  let create n =
+    let next = Array.init (n + 1) (fun i -> if i = n then 0 else i + 1) in
+    let prev = Array.init (n + 1) (fun i -> if i = 0 then n else i - 1) in
+    { next; prev; count = n }
+
+  let head t = Array.length t.next - 1
+  let is_empty t = t.count = 0
+  let first t = t.next.(head t)
+  let iter t f =
+    let h = head t in
+    let rec loop i = if i <> h then begin f i; loop t.next.(i) end in
+    loop (first t)
+
+  let remove t i =
+    t.next.(t.prev.(i)) <- t.next.(i);
+    t.prev.(t.next.(i)) <- t.prev.(i);
+    t.count <- t.count - 1
+end
+
+let missing_volume cache ~block_size task =
+  Array.fold_left
+    (fun acc id -> if Hashtbl.mem cache id then acc else acc +. block_size id)
+    0. task.Task.data_ids
+
+let run ?(config = default_config) ?jitter star ~tasks ~block_size =
+  let compute_factor =
+    match jitter with
+    | None -> fun () -> 1.
+    | Some (rng, sigma) ->
+        if sigma < 0. then invalid_arg "Scheduler.run: jitter sigma must be >= 0";
+        fun () -> Numerics.Distributions.lognormal rng ~mu:0. ~sigma
+  in
+  let p = Star.size star in
+  let workers = Star.workers star in
+  let n_tasks = Array.length tasks in
+  let pending = Pending.create n_tasks in
+  let caches = Array.init p (fun _ -> Hashtbl.create 64) in
+  let completion = Array.make n_tasks infinity in
+  let winner = Array.make n_tasks (-1) in
+  let copies = Array.make n_tasks 0 in
+  let busy_until = Array.make p 0. in
+  let per_worker_comm = Array.make p 0. in
+  let per_worker_tasks = Array.make p 0 in
+  let assignments = ref [] in
+  let duplicates = ref 0 in
+  let total_comm = ref 0. in
+  let queue = Des.Event_queue.create ~initial_capacity:p () in
+  for w = 0 to p - 1 do
+    Des.Event_queue.push queue ~priority:0. w
+  done;
+  let select_task w =
+    match config.policy with
+    | Fifo -> Pending.first pending
+    | Affinity ->
+        let best = ref (-1) and best_volume = ref infinity in
+        Pending.iter pending (fun i ->
+            let volume = missing_volume caches.(w) ~block_size tasks.(i) in
+            if volume < !best_volume then begin
+              best := i;
+              best_volume := volume
+            end);
+        !best
+  in
+  let execute_copy w now i =
+    let proc = workers.(w) in
+    let volume = missing_volume caches.(w) ~block_size tasks.(i) in
+    Array.iter (fun id -> Hashtbl.replace caches.(w) id ()) tasks.(i).Task.data_ids;
+    let fetch_end = now +. Processor.transfer_time proc ~data:volume in
+    let finish =
+      fetch_end
+      +. (compute_factor () *. Processor.compute_time proc ~work:tasks.(i).Task.cost)
+    in
+    if finish < completion.(i) then begin
+      completion.(i) <- finish;
+      winner.(i) <- w
+    end;
+    copies.(i) <- copies.(i) + 1;
+    busy_until.(w) <- finish;
+    per_worker_comm.(w) <- per_worker_comm.(w) +. volume;
+    per_worker_tasks.(w) <- per_worker_tasks.(w) + 1;
+    total_comm := !total_comm +. volume;
+    assignments := { task = i; worker = w; start = now; fetch_end; finish; fetched = volume } :: !assignments;
+    Log.debug (fun m ->
+        m "t=%.4g: task %d -> worker %d (fetch %.4g, finish %.4g)" now i w volume finish);
+    Des.Event_queue.push queue ~priority:finish w
+  in
+  (* A speculative copy targets the unfinished task with the latest
+     estimated completion, if this worker can beat that estimate and the
+     task has fewer than 2 copies. *)
+  let try_speculate w now =
+    let target = ref (-1) and latest = ref now in
+    Array.iteri
+      (fun i done_at ->
+        if done_at > !latest && copies.(i) < 2 && winner.(i) <> w then begin
+          latest := done_at;
+          target := i
+        end)
+      completion;
+    if !target < 0 then false
+    else begin
+      let i = !target in
+      let proc = workers.(w) in
+      let volume = missing_volume caches.(w) ~block_size tasks.(i) in
+      let eta =
+        now +. Processor.transfer_time proc ~data:volume
+        +. Processor.compute_time proc ~work:tasks.(i).Task.cost
+      in
+      if eta < completion.(i) then begin
+        incr duplicates;
+        Log.info (fun m ->
+            m "t=%.4g: worker %d speculates on task %d (eta %.4g < %.4g)" now w i eta
+              completion.(i));
+        execute_copy w now i;
+        true
+      end
+      else false
+    end
+  in
+  let rec drain () =
+    match Des.Event_queue.pop queue with
+    | None -> ()
+    | Some (now, w) ->
+        if not (Pending.is_empty pending) then begin
+          let i = select_task w in
+          Pending.remove pending i;
+          execute_copy w now i
+        end
+        else if config.speculation then begin
+          (* If nothing is worth duplicating the worker retires. *)
+          ignore (try_speculate w now : bool)
+        end;
+        drain ()
+  in
+  drain ();
+  let makespan = Array.fold_left Float.max 0. completion in
+  let makespan = if n_tasks = 0 then 0. else makespan in
+  {
+    assignments = List.rev !assignments;
+    completion;
+    winner;
+    makespan;
+    busy_until;
+    communication = !total_comm;
+    per_worker_comm;
+    per_worker_tasks;
+    duplicates = !duplicates;
+  }
+
+let imbalance outcome =
+  let tmax = Array.fold_left Float.max 0. outcome.busy_until in
+  let tmin = Array.fold_left Float.min infinity outcome.busy_until in
+  if tmin > 0. then (tmax -. tmin) /. tmin else infinity

@@ -1,0 +1,64 @@
+(** The map-phase scheduler: demand-driven task hand-out on a
+    heterogeneous platform, as in Hadoop (Section 4: "processors ask for
+    new tasks as soon as they end processing one"), plus two extensions
+    the paper discusses:
+
+    - {b affinity-aware} selection (the conclusion's proposal): among
+      pending tasks, prefer the one whose input blocks are already
+      cached on the requesting worker;
+    - {b speculative re-execution} (Hadoop behaviour): when no pending
+      task remains, an idle worker duplicates the running task with the
+      latest estimated finish; the task completes when its first copy
+      does. *)
+
+type policy =
+  | Fifo  (** take pending tasks in submission order *)
+  | Affinity  (** minimize the volume of blocks to fetch; ties → Fifo *)
+
+type config = { policy : policy; speculation : bool }
+
+val default_config : config
+(** [Fifo], no speculation: plain MapReduce. *)
+
+type assignment = {
+  task : int;  (** task id *)
+  worker : int;
+  start : float;
+  fetch_end : float;  (** when all missing blocks have arrived *)
+  finish : float;
+  fetched : float;  (** data volume actually transferred *)
+}
+
+type outcome = {
+  assignments : assignment list;  (** in assignment order, incl. copies *)
+  completion : float array;  (** per task: earliest copy finish *)
+  winner : int array;  (** per task: worker of the earliest copy *)
+  makespan : float;  (** last task completion *)
+  busy_until : float array;  (** per worker: end of its last copy *)
+  communication : float;  (** total data fetched, incl. duplicates *)
+  per_worker_comm : float array;
+  per_worker_tasks : int array;  (** copies run by each worker *)
+  duplicates : int;  (** speculative copies launched *)
+}
+
+val run :
+  ?config:config ->
+  ?jitter:Numerics.Rng.t * float ->
+  Platform.Star.t ->
+  tasks:Task.t array ->
+  block_size:(int -> float) ->
+  outcome
+(** Simulate the map phase.  Workers cache every block they fetch for
+    the duration of the job (the paper's "data already stored on a slave
+    processor").  Deterministic given the same inputs: ties are broken
+    by worker then task index.
+
+    [jitter] = [(rng, sigma)] multiplies every copy's computation time
+    by an independent log-normal(0, sigma) factor — the stragglers that
+    make speculative re-execution worthwhile.  The scheduler sees the
+    realized duration at assignment time (a clairvoyant simplification;
+    real runtimes estimate progress instead). *)
+
+val imbalance : outcome -> float
+(** [(tmax - tmin)/tmin] over [busy_until]; [infinity] when a worker
+    never ran a task. *)

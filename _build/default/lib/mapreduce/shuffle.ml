@@ -1,0 +1,68 @@
+module Star = Platform.Star
+module Processor = Platform.Processor
+
+type stats = {
+  pairs : int;
+  volume : float;
+  per_reducer_volume : float array;
+  per_reducer_work : float array;
+  reduce_time : float;
+}
+
+let placement ~p key = Hashtbl.hash key mod p
+
+let speed_weighted_placement star key =
+  let x = Star.relative_speeds star in
+  (* Map the key hash to [0,1) and walk the cumulative speed vector. *)
+  let u = float_of_int (Hashtbl.hash key land 0x3FFFFFFF) /. float_of_int 0x40000000 in
+  let p = Array.length x in
+  let rec scan i acc =
+    if i = p - 1 then i
+    else
+      let acc = acc +. x.(i) in
+      if u < acc then i else scan (i + 1) acc
+  in
+  scan 0 0.
+
+let run ?place star ~pairs ~reduce =
+  let p = Star.size star in
+  let place = match place with Some f -> f | None -> placement ~p in
+  let workers = Star.workers star in
+  let groups : ('k, 'v list ref) Hashtbl.t = Hashtbl.create 256 in
+  let per_reducer_volume = Array.make p 0. in
+  let per_reducer_work = Array.make p 0. in
+  let count = ref 0 in
+  List.iter
+    (fun (key, value, producer) ->
+      incr count;
+      let reducer = place key in
+      if reducer < 0 || reducer >= p then invalid_arg "Shuffle.run: placement out of range";
+      if reducer <> producer then
+        per_reducer_volume.(reducer) <- per_reducer_volume.(reducer) +. 1.;
+      per_reducer_work.(reducer) <- per_reducer_work.(reducer) +. 1.;
+      (match Hashtbl.find_opt groups key with
+      | Some cell -> cell := value :: !cell
+      | None -> Hashtbl.add groups key (ref [ value ])))
+    pairs;
+  let output =
+    Hashtbl.fold (fun key cell acc -> (key, reduce key (List.rev !cell)) :: acc) groups []
+  in
+  let reduce_time =
+    let worst = ref 0. in
+    for r = 0 to p - 1 do
+      let time =
+        Processor.transfer_time workers.(r) ~data:per_reducer_volume.(r)
+        +. Processor.compute_time workers.(r) ~work:per_reducer_work.(r)
+      in
+      if time > !worst then worst := time
+    done;
+    !worst
+  in
+  ( output,
+    {
+      pairs = !count;
+      volume = Numerics.Kahan.sum per_reducer_volume;
+      per_reducer_volume;
+      per_reducer_work;
+      reduce_time;
+    } )

@@ -1,0 +1,32 @@
+(** The shuffle/reduce phase: intermediate pairs are routed to reducers
+    (hash placement, as in Hadoop), pairs produced on their reducer's
+    own worker stay local, and each reducer folds its key groups. *)
+
+type stats = {
+  pairs : int;  (** intermediate pairs produced *)
+  volume : float;  (** pairs shipped to a different worker *)
+  per_reducer_volume : float array;
+  per_reducer_work : float array;  (** values folded by each reducer *)
+  reduce_time : float;  (** max over reducers of transfer + fold time *)
+}
+
+val placement : p:int -> 'k -> int
+(** Deterministic hash placement of a key among [p] reducers. *)
+
+val speed_weighted_placement : Platform.Star.t -> 'k -> int
+(** Hash placement biased by worker speeds: a worker with a fraction
+    [x_i] of the platform's speed receives an expected fraction [x_i]
+    of the keys — the reducer-side analogue of the paper's
+    heterogeneity-aware load balancing. *)
+
+val run :
+  ?place:('k -> int) ->
+  Platform.Star.t ->
+  pairs:('k * 'v * int) list ->
+  reduce:('k -> 'v list -> 'v) ->
+  ('k * 'v) list * stats
+(** [pairs] carries [(key, value, producing_worker)].  Values reach
+    their reducer in production order.  Each pair weighs one data unit;
+    each value costs one work unit to fold.  [place] overrides the
+    default hash {!placement}; it must return indices in
+    [\[0, size star)]. *)

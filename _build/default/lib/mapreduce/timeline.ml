@@ -1,0 +1,21 @@
+let trace (outcome : Scheduler.outcome) =
+  let t = Des.Trace.create () in
+  List.iter
+    (fun (a : Scheduler.assignment) ->
+      let resource = Printf.sprintf "w%d" a.Scheduler.worker in
+      if a.Scheduler.fetch_end > a.Scheduler.start then
+        Des.Trace.record t ~resource ~start:a.Scheduler.start ~finish:a.Scheduler.fetch_end
+          ~label:"f";
+      Des.Trace.record t ~resource ~start:a.Scheduler.fetch_end ~finish:a.Scheduler.finish
+        ~label:"x")
+    outcome.Scheduler.assignments;
+  t
+
+let gantt ?width outcome = Des.Trace.render_gantt ?width (trace outcome)
+
+let utilizations star (outcome : Scheduler.outcome) =
+  let t = trace outcome in
+  let makespan = outcome.Scheduler.makespan in
+  Array.init (Platform.Star.size star) (fun w ->
+      if makespan <= 0. then 0.
+      else Des.Trace.busy_time t ~resource:(Printf.sprintf "w%d" w) /. makespan)

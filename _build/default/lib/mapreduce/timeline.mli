@@ -1,0 +1,11 @@
+(** Visualization of a map-phase outcome: per-worker fetch/compute
+    intervals as a {!Des.Trace}, with utilization figures. *)
+
+val trace : Scheduler.outcome -> Des.Trace.t
+(** Resources ["w<i>"]: label [f] for fetch intervals, [x] for compute
+    intervals (one pair per executed copy). *)
+
+val gantt : ?width:int -> Scheduler.outcome -> string
+
+val utilizations : Platform.Star.t -> Scheduler.outcome -> float array
+(** Busy time / makespan per worker (0 when the makespan is 0). *)

@@ -1,0 +1,1 @@
+lib/numerics/ascii_chart.ml: Array Buffer List Printf String

@@ -1,0 +1,1 @@
+lib/numerics/ascii_table.ml: Array Buffer Format List Printf String

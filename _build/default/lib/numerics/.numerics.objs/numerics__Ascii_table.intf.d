@@ -1,0 +1,1 @@
+lib/numerics/ascii_table.mli: Format

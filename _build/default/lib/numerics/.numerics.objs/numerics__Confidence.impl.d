@@ -1,0 +1,1 @@
+lib/numerics/confidence.ml: Format Special Stats

@@ -1,0 +1,1 @@
+lib/numerics/confidence.mli: Format Stats

@@ -1,0 +1,1 @@
+lib/numerics/distributions.ml: Array Float Rng

@@ -1,0 +1,1 @@
+lib/numerics/distributions.mli: Rng

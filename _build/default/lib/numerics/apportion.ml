@@ -1,0 +1,26 @@
+let largest_remainder ~weights ~total =
+  if total < 0 then invalid_arg "Apportion.largest_remainder: negative total";
+  let n = Array.length weights in
+  if n = 0 then invalid_arg "Apportion.largest_remainder: empty weights";
+  Array.iter
+    (fun w -> if w < 0. || Float.is_nan w then invalid_arg "Apportion.largest_remainder: bad weight")
+    weights;
+  let sum = Kahan.sum weights in
+  if sum <= 0. then invalid_arg "Apportion.largest_remainder: weights sum to zero";
+  let exact = Array.map (fun w -> w /. sum *. float_of_int total) weights in
+  let parts = Array.map (fun e -> int_of_float (Float.floor e)) exact in
+  let assigned = Array.fold_left ( + ) 0 parts in
+  let leftover = total - assigned in
+  (* Hand the leftover units to the largest fractional remainders. *)
+  let order = Array.init n (fun i -> i) in
+  Array.sort
+    (fun i j ->
+      let ri = exact.(i) -. Float.floor exact.(i) in
+      let rj = exact.(j) -. Float.floor exact.(j) in
+      match Float.compare rj ri with 0 -> Int.compare i j | c -> c)
+    order;
+  for rank = 0 to leftover - 1 do
+    let i = order.(rank) in
+    parts.(i) <- parts.(i) + 1
+  done;
+  parts

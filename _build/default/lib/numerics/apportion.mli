@@ -1,0 +1,11 @@
+(** Integer apportionment: split an integer total into parts
+    proportional to real weights (largest-remainder / Hamilton method).
+
+    Used to snap real-valued partition prescriptions (areas ∝ speeds) to
+    integer matrix dimensions without gaps or overlaps. *)
+
+val largest_remainder : weights:float array -> total:int -> int array
+(** Parts are non-negative, sum exactly to [total], and differ from the
+    exact proportional share by less than 1.  Raises [Invalid_argument]
+    on negative totals, empty or non-positive-sum weights, or any
+    negative weight. *)

@@ -1,0 +1,53 @@
+type t = { lo : float; hi : float; counts : int array; mutable total : int }
+
+let create ?(bins = 20) ~lo ~hi () =
+  if bins <= 0 then invalid_arg "Histogram.create: bins must be > 0";
+  if not (lo < hi) then invalid_arg "Histogram.create: lo must be < hi";
+  { lo; hi; counts = Array.make bins 0; total = 0 }
+
+let bin_of t x =
+  let bins = Array.length t.counts in
+  let raw = int_of_float ((x -. t.lo) /. (t.hi -. t.lo) *. float_of_int bins) in
+  max 0 (min (bins - 1) raw)
+
+let add t x =
+  t.counts.(bin_of t x) <- t.counts.(bin_of t x) + 1;
+  t.total <- t.total + 1
+
+let of_array ?bins a =
+  if Array.length a = 0 then invalid_arg "Histogram.of_array: empty array";
+  let lo = Array.fold_left Float.min a.(0) a in
+  let hi = Array.fold_left Float.max a.(0) a in
+  (* Widen degenerate ranges so every value fits in a bin. *)
+  let hi = if hi > lo then hi else lo +. 1. in
+  let t = create ?bins ~lo ~hi () in
+  Array.iter (add t) a;
+  t
+
+let counts t = Array.copy t.counts
+let total t = t.total
+
+let bin_bounds t i =
+  let bins = Array.length t.counts in
+  if i < 0 || i >= bins then invalid_arg "Histogram.bin_bounds: out of range";
+  let width = (t.hi -. t.lo) /. float_of_int bins in
+  (t.lo +. (float_of_int i *. width), t.lo +. (float_of_int (i + 1) *. width))
+
+let mode_bin t =
+  let best = ref 0 in
+  Array.iteri (fun i c -> if c > t.counts.(!best) then best := i) t.counts;
+  !best
+
+let render ?(width = 40) t =
+  let buf = Buffer.create 512 in
+  let peak = max 1 t.counts.(mode_bin t) in
+  Array.iteri
+    (fun i count ->
+      let lo, hi = bin_bounds t i in
+      let bar = count * width / peak in
+      Buffer.add_string buf
+        (Printf.sprintf "[%10.4g, %10.4g) |%s%s %d\n" lo hi (String.make bar '#')
+           (String.make (width - bar) ' ')
+           count))
+    t.counts;
+  Buffer.contents buf

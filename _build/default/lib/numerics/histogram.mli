@@ -1,0 +1,24 @@
+(** Fixed-width binned histograms with a terminal rendering, used to
+    show the distributions behind the concentration experiments. *)
+
+type t
+
+val create : ?bins:int -> lo:float -> hi:float -> unit -> t
+(** [bins] defaults to 20.  Raises [Invalid_argument] unless
+    [lo < hi] and [bins > 0]. *)
+
+val add : t -> float -> unit
+(** Values outside [\[lo, hi)] land in the closest edge bin. *)
+
+val of_array : ?bins:int -> float array -> t
+(** Bounds taken from the data; raises on an empty array. *)
+
+val counts : t -> int array
+val total : t -> int
+val bin_bounds : t -> int -> float * float
+
+val mode_bin : t -> int
+(** Index of the fullest bin (smallest index on ties). *)
+
+val render : ?width:int -> t -> string
+(** One line per bin: bounds, a bar scaled to the fullest bin, count. *)

@@ -1,0 +1,37 @@
+let default_domains () = max 1 (Domain.recommended_domain_count ())
+
+let parallel_for ?domains n body =
+  let domains = match domains with Some d -> max 1 d | None -> default_domains () in
+  if domains <= 1 || n <= 1 then
+    for i = 0 to n - 1 do
+      body i
+    done
+  else begin
+    let workers = min domains n in
+    (* Contiguous ranges; the last worker runs on the calling domain. *)
+    let range w =
+      let per = n / workers and extra = n mod workers in
+      let start = (w * per) + min w extra in
+      let len = per + (if w < extra then 1 else 0) in
+      (start, len)
+    in
+    let run w () =
+      let start, len = range w in
+      for i = start to start + len - 1 do
+        body i
+      done
+    in
+    let spawned = List.init (workers - 1) (fun w -> Domain.spawn (run w)) in
+    run (workers - 1) ();
+    List.iter Domain.join spawned
+  end
+
+let parallel_map_array ?domains f a =
+  let n = Array.length a in
+  if n = 0 then [||]
+  else begin
+    let first = f a.(0) in
+    let out = Array.make n first in
+    parallel_for ?domains (n - 1) (fun i -> out.(i + 1) <- f a.(i + 1));
+    out
+  end

@@ -1,0 +1,18 @@
+(** Small multicore helpers over OCaml 5 domains.
+
+    The simulators in this repository model parallel platforms; these
+    helpers let the heavy kernels (local sorts, matrix products) also
+    *run* in parallel on the host machine. *)
+
+val default_domains : unit -> int
+(** [Domain.recommended_domain_count], at least 1. *)
+
+val parallel_for : ?domains:int -> int -> (int -> unit) -> unit
+(** [parallel_for n body] runs [body i] for [i in 0..n-1], partitioned
+    into contiguous ranges across [domains] worker domains (the calling
+    domain works too).  [body] must only write to disjoint state per
+    index.  Falls back to a sequential loop when [domains <= 1] or
+    [n <= 1]. *)
+
+val parallel_map_array : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
+(** Element-wise map with the same partitioning contract. *)

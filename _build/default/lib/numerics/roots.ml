@@ -1,0 +1,114 @@
+exception No_bracket
+
+let default_tol = 1e-12
+
+let bisect ?(tol = default_tol) ?(max_iter = 200) ~f ~lo ~hi () =
+  let flo = f lo and fhi = f hi in
+  if flo = 0. then lo
+  else if fhi = 0. then hi
+  else if flo *. fhi > 0. then raise No_bracket
+  else
+    let rec loop lo hi flo i =
+      let mid = 0.5 *. (lo +. hi) in
+      if hi -. lo <= tol *. (1. +. Float.abs mid) || i >= max_iter then mid
+      else
+        let fmid = f mid in
+        if fmid = 0. then mid
+        else if flo *. fmid < 0. then loop lo mid flo (i + 1)
+        else loop mid hi fmid (i + 1)
+    in
+    loop lo hi flo 0
+
+let brent ?(tol = default_tol) ?(max_iter = 200) ~f ~lo ~hi () =
+  let a = ref lo and b = ref hi in
+  let fa = ref (f !a) and fb = ref (f !b) in
+  if !fa = 0. then !a
+  else if !fb = 0. then !b
+  else if !fa *. !fb > 0. then raise No_bracket
+  else begin
+    if Float.abs !fa < Float.abs !fb then begin
+      let t = !a in a := !b; b := t;
+      let t = !fa in fa := !fb; fb := t
+    end;
+    let c = ref !a and fc = ref !fa in
+    let d = ref (!b -. !a) and e = ref (!b -. !a) in
+    let result = ref !b in
+    (try
+       for _ = 1 to max_iter do
+         if !fb *. !fc > 0. then begin
+           c := !a; fc := !fa; d := !b -. !a; e := !d
+         end;
+         if Float.abs !fc < Float.abs !fb then begin
+           a := !b; b := !c; c := !a;
+           fa := !fb; fb := !fc; fc := !fa
+         end;
+         let tol1 = (2. *. epsilon_float *. Float.abs !b) +. (0.5 *. tol) in
+         let xm = 0.5 *. (!c -. !b) in
+         if Float.abs xm <= tol1 || !fb = 0. then begin
+           result := !b;
+           raise Exit
+         end;
+         if Float.abs !e >= tol1 && Float.abs !fa > Float.abs !fb then begin
+           let s = !fb /. !fa in
+           let p, q =
+             if !a = !c then
+               let p = 2. *. xm *. s in
+               let q = 1. -. s in
+               (p, q)
+             else
+               let q0 = !fa /. !fc and r = !fb /. !fc in
+               let p = s *. ((2. *. xm *. q0 *. (q0 -. r)) -. ((!b -. !a) *. (r -. 1.))) in
+               let q = (q0 -. 1.) *. (r -. 1.) *. (s -. 1.) in
+               (p, q)
+           in
+           let p, q = if p > 0. then (p, -.q) else (-.p, q) in
+           let min1 = (3. *. xm *. q) -. Float.abs (tol1 *. q) in
+           let min2 = Float.abs (!e *. q) in
+           if 2. *. p < Float.min min1 min2 then begin
+             e := !d;
+             d := p /. q
+           end
+           else begin
+             d := xm;
+             e := !d
+           end
+         end
+         else begin
+           d := xm;
+           e := !d
+         end;
+         a := !b;
+         fa := !fb;
+         if Float.abs !d > tol1 then b := !b +. !d
+         else b := !b +. (if xm >= 0. then tol1 else -.tol1);
+         fb := f !b
+       done;
+       result := !b
+     with Exit -> ());
+    !result
+  end
+
+let newton ?(tol = default_tol) ?(max_iter = 100) ~f ~df ~x0 () =
+  let rec loop x i =
+    if i >= max_iter then None
+    else
+      let fx = f x in
+      let dfx = df x in
+      if dfx = 0. || not (Float.is_finite dfx) then None
+      else
+        let x' = x -. (fx /. dfx) in
+        if not (Float.is_finite x') then None
+        else if Float.abs (x' -. x) <= tol *. (1. +. Float.abs x') then Some x'
+        else loop x' (i + 1)
+  in
+  loop x0 0
+
+let expand_bracket ~f ~lo ~hi ?(grow = 2.) ?(max_iter = 64) () =
+  let flo = f lo in
+  let rec loop hi i =
+    if i >= max_iter then None
+    else
+      let fhi = f hi in
+      if flo *. fhi <= 0. then Some (lo, hi) else loop (lo +. ((hi -. lo) *. grow)) (i + 1)
+  in
+  loop hi 0

@@ -1,0 +1,1 @@
+lib/partition/bisection.ml: Array Float Layout List Numerics Printf Rect

@@ -1,0 +1,1 @@
+lib/partition/bisection.mli: Layout

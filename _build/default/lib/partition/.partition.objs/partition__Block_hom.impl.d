@@ -1,0 +1,1 @@
+lib/partition/block_hom.ml: Array Des Float Logs Numerics Platform

@@ -1,0 +1,1 @@
+lib/partition/block_hom.mli: Platform

@@ -1,0 +1,1 @@
+lib/partition/column_partition.ml: Array Float Int Layout List Numerics Platform Printf Rect

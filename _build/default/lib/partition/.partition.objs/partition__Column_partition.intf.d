@@ -1,0 +1,1 @@
+lib/partition/column_partition.mli: Layout Platform

@@ -1,0 +1,1 @@
+lib/partition/layout.ml: Array Buffer Float Format List Numerics Rect String

@@ -1,0 +1,1 @@
+lib/partition/layout.mli: Format Rect

@@ -1,0 +1,1 @@
+lib/partition/lower_bound.mli: Platform

@@ -1,0 +1,1 @@
+lib/partition/rect.ml: Float Format

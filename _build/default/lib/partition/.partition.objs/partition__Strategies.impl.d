@@ -1,0 +1,1 @@
+lib/partition/strategies.ml: Array Block_hom Column_partition Float Layout Lower_bound Platform

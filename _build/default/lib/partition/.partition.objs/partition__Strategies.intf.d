@@ -1,0 +1,1 @@
+lib/partition/strategies.mli: Layout Platform

@@ -1,0 +1,1 @@
+lib/partition/timed.ml: Array Block_hom Column_partition Des Float Layout List Platform Rect

@@ -1,0 +1,47 @@
+let check_areas areas =
+  if Array.length areas = 0 then invalid_arg "Bisection: empty areas";
+  Array.iter
+    (fun a -> if a <= 0. || Float.is_nan a then invalid_arg "Bisection: non-positive area")
+    areas;
+  let total = Numerics.Kahan.sum areas in
+  if Float.abs (total -. 1.) > 1e-6 then
+    invalid_arg (Printf.sprintf "Bisection: areas sum to %.9g, expected 1" total)
+
+(* Split the (index, weight) list into two groups of nearly equal total
+   weight: weights descending, each into the lighter group. *)
+let balance items =
+  let sorted = List.sort (fun (_, a) (_, b) -> Float.compare b a) items in
+  let rec assign left left_weight right right_weight = function
+    | [] -> ((left, left_weight), (right, right_weight))
+    | ((_, w) as item) :: rest ->
+        if left_weight <= right_weight then
+          assign (item :: left) (left_weight +. w) right right_weight rest
+        else assign left left_weight (item :: right) (right_weight +. w) rest
+  in
+  assign [] 0. [] 0. sorted
+
+let layout ~areas =
+  check_areas areas;
+  let rects = Array.make (Array.length areas) (Rect.make ~x:0. ~y:0. ~width:0. ~height:0.) in
+  let rec cut x y width height items =
+    match items with
+    | [] -> ()
+    | [ (i, _) ] -> rects.(i) <- Rect.make ~x ~y ~width ~height
+    | _ ->
+        let (left, lw), (right, rw) = balance items in
+        let fraction = lw /. (lw +. rw) in
+        if width >= height then begin
+          let cut_width = width *. fraction in
+          cut x y cut_width height left;
+          cut (x +. cut_width) y (width -. cut_width) height right
+        end
+        else begin
+          let cut_height = height *. fraction in
+          cut x y width cut_height left;
+          cut x (y +. cut_height) width (height -. cut_height) right
+        end
+  in
+  cut 0. 0. 1. 1. (Array.to_list (Array.mapi (fun i a -> (i, a)) areas));
+  { Layout.rects }
+
+let cost ~areas = Layout.sum_half_perimeters (layout ~areas)

@@ -1,0 +1,17 @@
+(** Recursive weighted bisection: an alternative to the column-based
+    PERI-SUM partitioner, included as an ablation baseline.
+
+    The zone set is split into two groups of (nearly) equal total area,
+    the current rectangle is cut across its longer side proportionally
+    to the group weights, and both halves recurse.  Areas are realized
+    exactly (every cut is exact), but the half-perimeter sum carries no
+    approximation guarantee — the benchmarks compare it against the DP
+    optimum. *)
+
+val layout : areas:float array -> Layout.t
+(** Partition the unit square into zones of exactly the prescribed
+    areas.  Same input contract as {!Column_partition.peri_sum}:
+    positive areas summing to 1. *)
+
+val cost : areas:float array -> float
+(** Sum of half-perimeters of {!layout}. *)

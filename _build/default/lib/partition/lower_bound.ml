@@ -1,0 +1,8 @@
+module Kahan = Numerics.Kahan
+
+let peri_sum ~areas = 2. *. Kahan.sum_by sqrt areas
+
+let peri_max ~areas =
+  2. *. Array.fold_left (fun acc a -> Float.max acc (sqrt a)) 0. areas
+
+let communication star ~n = n *. peri_sum ~areas:(Platform.Star.relative_speeds star)

@@ -1,0 +1,16 @@
+(** Communication lower bounds of Section 4.1 / 4.3.
+
+    For any partition of the unit square into zones of prescribed areas
+    [a_i], zone [i] has half-perimeter at least [2√a_i] (the square
+    shape is optimal), hence [LBComm = 2 Σ √a_i].  Scaled to the
+    [N × N] outer-product domain: [2N Σ √x_i]. *)
+
+val peri_sum : areas:float array -> float
+(** [2 Σ √a_i]. *)
+
+val peri_max : areas:float array -> float
+(** [max_i 2√a_i]: the PERI-MAX counterpart. *)
+
+val communication : Platform.Star.t -> n:float -> float
+(** [LBComm = 2N Σ √x_i = 2N Σ √s_i / √(Σ s_i)] — each worker gets an
+    ideal square of area equal to its relative speed. *)

@@ -1,0 +1,42 @@
+module Star = Platform.Star
+
+type ratios = {
+  lower_bound : float;
+  het : float;
+  hom : float;
+  hom_over_k : float;
+  k : int;
+  het_imbalance : float;
+  hom_imbalance : float;
+  hom_over_k_imbalance : float;
+}
+
+let het_layout star =
+  Column_partition.peri_sum_layout ~areas:(Star.relative_speeds star)
+
+(* Imbalance of a layout whose zone areas should be ∝ speeds: the
+   compute time of worker i is area_i / x_i (normalized), so
+   e = max/min - 1 over those times. *)
+let layout_imbalance star layout =
+  let x = Star.relative_speeds star in
+  let times = Array.mapi (fun i a -> a /. x.(i)) (Layout.areas layout) in
+  let tmax = Array.fold_left Float.max 0. times in
+  let tmin = Array.fold_left Float.min infinity times in
+  if tmin > 0. then (tmax -. tmin) /. tmin else infinity
+
+let evaluate ?(n = 1e6) ?(target_imbalance = 0.01) star =
+  let lower_bound = Lower_bound.communication star ~n in
+  let layout = het_layout star in
+  let het = Layout.communication_volume layout ~n /. lower_bound in
+  let hom_result = Block_hom.commhom star ~n in
+  let homk_result = Block_hom.commhom_over_k ~target_imbalance star ~n in
+  {
+    lower_bound;
+    het;
+    hom = hom_result.Block_hom.communication /. lower_bound;
+    hom_over_k = homk_result.Block_hom.communication /. lower_bound;
+    k = homk_result.Block_hom.k;
+    het_imbalance = layout_imbalance star layout;
+    hom_imbalance = hom_result.Block_hom.imbalance;
+    hom_over_k_imbalance = homk_result.Block_hom.imbalance;
+  }

@@ -1,0 +1,25 @@
+(** Side-by-side evaluation of the three data-distribution strategies of
+    Section 4.3 on one platform: the ratios plotted in Figures 4(a-c). *)
+
+type ratios = {
+  lower_bound : float;  (** [LBComm] in data units *)
+  het : float;  (** [Commhet / LBComm] *)
+  hom : float;  (** [Commhom / LBComm] *)
+  hom_over_k : float;  (** [Commhom/k / LBComm] *)
+  k : int;  (** subdivision reached by [Commhom/k] *)
+  het_imbalance : float;
+      (** load imbalance of the heterogeneous layout (0 up to rounding:
+          areas are exactly proportional to speeds) *)
+  hom_imbalance : float;  (** imbalance of plain [Commhom] *)
+  hom_over_k_imbalance : float;
+}
+
+val evaluate :
+  ?n:float -> ?target_imbalance:float -> Platform.Star.t -> ratios
+(** [n] defaults to [1e6] (a "large matrix"); the ratios are
+    [n]-independent up to block rounding.  [target_imbalance] defaults
+    to the paper's 1%. *)
+
+val het_layout : Platform.Star.t -> Layout.t
+(** The Heterogeneous Blocks layout (PERI-SUM column partition with
+    areas = relative speeds). *)

@@ -1,0 +1,100 @@
+module Star = Platform.Star
+module Processor = Platform.Processor
+
+type timing = { makespan : float; comm_makespan : float; per_worker : float array }
+
+let of_finish_times ~comm per_worker =
+  {
+    makespan = Array.fold_left Float.max 0. per_worker;
+    comm_makespan = Array.fold_left Float.max 0. comm;
+    per_worker;
+  }
+
+let het star ~n =
+  if n <= 0. then invalid_arg "Timed.het: n must be > 0";
+  let layout = Column_partition.peri_sum_layout ~areas:(Star.relative_speeds star) in
+  let workers = Star.workers star in
+  let comm = Array.make (Star.size star) 0. in
+  let per_worker =
+    Array.mapi
+      (fun i rect ->
+        let proc = workers.(i) in
+        let data = n *. Rect.half_perimeter rect in
+        let cells = n *. n *. Rect.area rect in
+        let fetch = Processor.transfer_time proc ~data in
+        comm.(i) <- fetch;
+        fetch +. Processor.compute_time proc ~work:cells)
+      layout.Layout.rects
+  in
+  of_finish_times ~comm per_worker
+
+let hom ?(k = 1) star ~n =
+  if n <= 0. then invalid_arg "Timed.hom: n must be > 0";
+  let p = Star.size star in
+  let workers = Star.workers star in
+  let blocks = Block_hom.block_count star ~k in
+  let x = Star.relative_speeds star in
+  let side = sqrt x.(0) *. n /. float_of_int k in
+  let block_data = 2. *. side in
+  let block_work = side *. side in
+  let per_worker = Array.make p 0. in
+  let comm = Array.make p 0. in
+  (* Demand-driven with the fetch folded into each block's service
+     time: the worker requests, receives, computes, requests again. *)
+  let queue = Des.Event_queue.create ~initial_capacity:p () in
+  for i = 0 to p - 1 do
+    Des.Event_queue.push queue ~priority:0. i
+  done;
+  for _ = 1 to blocks do
+    match Des.Event_queue.pop queue with
+    | None -> assert false
+    | Some (now, i) ->
+        let proc = workers.(i) in
+        let fetch = Processor.transfer_time proc ~data:block_data in
+        let finish = now +. fetch +. Processor.compute_time proc ~work:block_work in
+        comm.(i) <- comm.(i) +. fetch;
+        per_worker.(i) <- finish;
+        Des.Event_queue.push queue ~priority:finish i
+  done;
+  of_finish_times ~comm per_worker
+
+let hom_balanced ?target_imbalance star ~n =
+  let result = Block_hom.commhom_over_k ?target_imbalance star ~n in
+  hom ~k:result.Block_hom.k star ~n
+
+let het_shared_backbone star ~n ~backbone =
+  if n <= 0. then invalid_arg "Timed.het_shared_backbone: n must be > 0";
+  if backbone <= 0. then invalid_arg "Timed.het_shared_backbone: backbone must be > 0";
+  let layout = Column_partition.peri_sum_layout ~areas:(Star.relative_speeds star) in
+  let workers = Star.workers star in
+  let p = Star.size star in
+  (* Link 0 is the backbone; link i+1 is worker i's private link. *)
+  let links =
+    Array.init (p + 1) (fun l ->
+        if l = 0 then { Des.Fluid.capacity = backbone }
+        else { Des.Fluid.capacity = workers.(l - 1).Processor.bandwidth })
+  in
+  let flows =
+    Array.to_list
+      (Array.mapi
+         (fun i rect ->
+           Des.Fluid.make_flow ~id:i
+             ~size:(n *. Rect.half_perimeter rect)
+             ~links:[ 0; i + 1 ] ())
+         layout.Layout.rects)
+  in
+  let completions = Des.Fluid.run ~links ~flows in
+  let fetch_end = Array.make p 0. in
+  List.iter
+    (fun c -> fetch_end.(c.Des.Fluid.flow) <- c.Des.Fluid.finish)
+    completions;
+  let per_worker =
+    Array.mapi
+      (fun i rect ->
+        let cells = n *. n *. Rect.area rect in
+        fetch_end.(i) +. Processor.compute_time workers.(i) ~work:cells)
+      layout.Layout.rects
+  in
+  of_finish_times ~comm:fetch_end per_worker
+
+let compute_bound star ~n = n *. n /. Star.total_speed star

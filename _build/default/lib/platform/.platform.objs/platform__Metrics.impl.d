@@ -1,0 +1,1 @@
+lib/platform/metrics.ml: Numerics Processor Star

@@ -1,0 +1,1 @@
+lib/platform/parse.ml: Array Buffer In_channel List Printf Processor Result Star String

@@ -1,0 +1,1 @@
+lib/platform/profiles.ml: Format List Numerics Star

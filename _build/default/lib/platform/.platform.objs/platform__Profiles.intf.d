@@ -1,0 +1,1 @@
+lib/platform/profiles.mli: Format Numerics Star

@@ -1,0 +1,1 @@
+lib/platform/star.ml: Array Float Format List Numerics Processor

@@ -1,0 +1,1 @@
+lib/platform/star.mli: Format Processor

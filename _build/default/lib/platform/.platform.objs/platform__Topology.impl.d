@@ -1,0 +1,1 @@
+lib/platform/topology.ml: Float List Processor Star

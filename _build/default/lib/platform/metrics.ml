@@ -1,0 +1,17 @@
+module Stats = Numerics.Stats
+module Kahan = Numerics.Kahan
+
+let speed_ratio star = (Star.fastest star).Processor.speed /. (Star.slowest star).Processor.speed
+
+let coefficient_of_variation star = Stats.coefficient_of_variation (Star.speeds star)
+
+let sum_sqrt_relative star = Kahan.sum_by sqrt (Star.relative_speeds star)
+
+let hom_over_het_bound star =
+  let speeds = Star.speeds star in
+  let s1 = (Star.slowest star).Processor.speed in
+  let sum = Kahan.sum speeds in
+  let sum_sqrt = Kahan.sum_by sqrt speeds in
+  4. /. 7. *. sum /. (sqrt s1 *. sum_sqrt)
+
+let bimodal_rho_bound ~factor = (1. +. factor) /. (1. +. sqrt factor)

@@ -1,0 +1,20 @@
+(** Heterogeneity measures of a platform, used to relate the measured
+    communication ratios of Figure 4 to how skewed the speed vector is. *)
+
+val speed_ratio : Star.t -> float
+(** [s_max / s_min], >= 1. *)
+
+val coefficient_of_variation : Star.t -> float
+(** stddev / mean of the speed vector; 0 for homogeneous platforms. *)
+
+val sum_sqrt_relative : Star.t -> float
+(** [Σ √x_i] where [x_i] are relative speeds: the quantity appearing in
+    the communication lower bound [LBComm = 2N Σ √x_i]. *)
+
+val hom_over_het_bound : Star.t -> float
+(** The ratio lower bound of Section 4.1.3:
+    [(4/7) · Σ s_i / (√s_1 · Σ √s_i)]. *)
+
+val bimodal_rho_bound : factor:float -> float
+(** [(1+k)/(1+√k)] — the closed-form bound for the half-slow /
+    half-[k]-fast platform. *)

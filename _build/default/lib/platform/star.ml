@@ -1,0 +1,29 @@
+type t = { workers : Processor.t array; total_speed : float }
+
+let create procs =
+  if procs = [] then invalid_arg "Star.create: at least one worker required";
+  let workers = Array.of_list procs in
+  Array.stable_sort (fun (a : Processor.t) b -> Float.compare a.speed b.speed) workers;
+  let total_speed = Numerics.Kahan.sum_by (fun (p : Processor.t) -> p.speed) workers in
+  { workers; total_speed }
+
+let of_speeds ?bandwidth ?latency speeds =
+  create (List.mapi (fun i s -> Processor.make ?bandwidth ?latency ~id:(i + 1) ~speed:s ()) speeds)
+
+let size t = Array.length t.workers
+let workers t = Array.copy t.workers
+let worker t i = t.workers.(i)
+let total_speed t = t.total_speed
+let speeds t = Array.map (fun (p : Processor.t) -> p.speed) t.workers
+let relative_speeds t = Array.map (fun (p : Processor.t) -> p.speed /. t.total_speed) t.workers
+let slowest t = t.workers.(0)
+let fastest t = t.workers.(Array.length t.workers - 1)
+
+let is_homogeneous ?(tol = 1e-9) t =
+  let s0 = (slowest t).speed and s1 = (fastest t).speed in
+  s1 -. s0 <= tol *. s1
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>star platform, %d workers:@," (size t);
+  Array.iter (fun p -> Format.fprintf ppf "  %a@," Processor.pp p) t.workers;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,55 @@
+type node =
+  | Worker of Processor.t
+  | Cluster of { bandwidth : float; latency : float; children : node list }
+
+let worker ?(bandwidth = 1.) ?(latency = 0.) ~speed () =
+  Worker (Processor.make ~bandwidth ~latency ~id:0 ~speed ())
+
+let cluster ?(bandwidth = 1.) ?(latency = 0.) children =
+  if children = [] then invalid_arg "Topology.cluster: empty cluster";
+  if bandwidth <= 0. then invalid_arg "Topology.cluster: bandwidth must be positive";
+  if latency < 0. then invalid_arg "Topology.cluster: latency must be non-negative";
+  Cluster { bandwidth; latency; children }
+
+let rec leaf_count = function
+  | Worker _ -> 1
+  | Cluster { children; _ } -> List.fold_left (fun acc c -> acc + leaf_count c) 0 children
+
+let rec total_speed = function
+  | Worker p -> p.Processor.speed
+  | Cluster { children; _ } -> List.fold_left (fun acc c -> acc +. total_speed c) 0. children
+
+(* Steady-state one-port throughput of a set of workers behind one
+   port: the fractional-knapsack closed form of {!Dlt.Steady_state},
+   restated here to keep the dependency direction platform <- dlt. *)
+let one_port_throughput procs =
+  let sorted =
+    List.sort
+      (fun (a : Processor.t) b -> Float.compare b.Processor.bandwidth a.Processor.bandwidth)
+      procs
+  in
+  let port_left = ref 1. in
+  List.fold_left
+    (fun acc (proc : Processor.t) ->
+      let affordable = !port_left *. proc.Processor.bandwidth in
+      let rate = Float.min proc.Processor.speed affordable in
+      port_left := !port_left -. (rate /. proc.Processor.bandwidth);
+      acc +. rate)
+    0. sorted
+
+let rec equivalent_processor ?(id = 0) node =
+  match node with
+  | Worker p -> { p with Processor.id }
+  | Cluster { bandwidth; latency; children } ->
+      let inner = List.map (fun c -> equivalent_processor c) children in
+      let internal = one_port_throughput inner in
+      Processor.make ~bandwidth ~latency ~id ~speed:(Float.min bandwidth internal) ()
+
+let flatten nodes =
+  if nodes = [] then invalid_arg "Topology.flatten: empty platform";
+  Star.create (List.mapi (fun i node -> equivalent_processor ~id:(i + 1) node) nodes)
+
+let aggregation_loss nodes =
+  let raw = List.fold_left (fun acc n -> acc +. total_speed n) 0. nodes in
+  let flat = Star.total_speed (flatten nodes) in
+  1. -. (flat /. raw)

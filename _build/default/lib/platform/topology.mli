@@ -1,0 +1,36 @@
+(** Hierarchical platforms: stars of stars.
+
+    Real grids are rarely flat; a classical DLT device is to aggregate a
+    whole sub-cluster into one equivalent worker, valid in steady state
+    (large loads): the sub-cluster can absorb load no faster than its
+    own master's port and internal workers allow, and no faster than its
+    uplink delivers. *)
+
+type node =
+  | Worker of Processor.t
+  | Cluster of { bandwidth : float; latency : float; children : node list }
+      (** A gateway with an uplink of the given bandwidth/latency that
+          redistributes (one-port) to its children. *)
+
+val worker : ?bandwidth:float -> ?latency:float -> speed:float -> unit -> node
+val cluster : ?bandwidth:float -> ?latency:float -> node list -> node
+(** Defaults: bandwidth 1, latency 0.  Raises [Invalid_argument] on an
+    empty cluster or non-positive bandwidth. *)
+
+val leaf_count : node -> int
+val total_speed : node -> float
+(** Sum of the leaves' raw speeds (ignoring link limits). *)
+
+val equivalent_processor : ?id:int -> node -> Processor.t
+(** Steady-state aggregation: a [Worker] is itself; a [Cluster] becomes
+    a worker of speed [min(uplink bandwidth, one-port steady-state
+    throughput of its (recursively aggregated) children)], with the
+    uplink's bandwidth and latency. *)
+
+val flatten : node list -> Star.t
+(** The equivalent flat star seen by the root master: one aggregated
+    worker per top-level node. *)
+
+val aggregation_loss : node list -> float
+(** [1 - flat total speed / raw total speed]: compute power lost to
+    link bottlenecks. *)

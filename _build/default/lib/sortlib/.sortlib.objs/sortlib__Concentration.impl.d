@@ -1,0 +1,1 @@
+lib/sortlib/concentration.ml: Array Float Format Numerics Sample_sort

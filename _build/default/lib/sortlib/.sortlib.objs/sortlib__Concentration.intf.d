@@ -1,0 +1,1 @@
+lib/sortlib/concentration.mli: Format Numerics

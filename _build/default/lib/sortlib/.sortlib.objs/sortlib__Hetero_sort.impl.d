@@ -1,0 +1,1 @@
+lib/sortlib/hetero_sort.ml: Array Float Parallel_model Platform Sample_sort

@@ -1,0 +1,1 @@
+lib/sortlib/hetero_sort.mli: Numerics Parallel_model Platform

@@ -1,0 +1,1 @@
+lib/sortlib/histogram_sort.ml: Array Float Sample_sort

@@ -1,0 +1,1 @@
+lib/sortlib/merge.ml: Array Des List

@@ -1,0 +1,1 @@
+lib/sortlib/multicore.ml: Array Float Numerics Sample_sort Unix

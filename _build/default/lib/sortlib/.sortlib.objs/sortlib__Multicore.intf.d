@@ -1,0 +1,1 @@
+lib/sortlib/multicore.mli: Numerics

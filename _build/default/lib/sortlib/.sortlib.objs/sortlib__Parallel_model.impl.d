@@ -1,0 +1,1 @@
+lib/sortlib/parallel_model.ml: Array Float List Numerics Platform

@@ -1,0 +1,1 @@
+lib/sortlib/parallel_model.mli: Platform

@@ -1,0 +1,1 @@
+lib/sortlib/psrs.ml: Array Float List Merge Numerics

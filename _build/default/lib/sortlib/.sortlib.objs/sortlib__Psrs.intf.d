@@ -1,0 +1,1 @@
+lib/sortlib/psrs.mli:

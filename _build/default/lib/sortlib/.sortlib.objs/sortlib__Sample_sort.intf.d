@@ -1,0 +1,1 @@
+lib/sortlib/sample_sort.mli: Numerics

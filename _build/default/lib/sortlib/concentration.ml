@@ -1,0 +1,38 @@
+module Rng = Numerics.Rng
+module Stats = Numerics.Stats
+
+type report = {
+  trials : int;
+  n : int;
+  p : int;
+  s : int;
+  ratios : Stats.summary;
+  envelope : float;
+  exceed_count : int;
+}
+
+let uniform_keys rng n = Array.init n (fun _ -> Rng.float rng)
+
+let zipf_like_keys ?(skew = 1.2) rng n =
+  (* Values concentrated near 0: inverse-power transform of a uniform. *)
+  Array.init n (fun _ -> Rng.float rng ** skew)
+
+let run ?(cmp = Float.compare) ?s rng ~keys ~n ~p ~trials =
+  if trials <= 0 then invalid_arg "Concentration.run: trials must be > 0";
+  let s = match s with Some s -> s | None -> Sample_sort.default_oversampling ~n in
+  let ratios = Array.make trials 0. in
+  for t = 0 to trials - 1 do
+    let trial_rng = Rng.split rng in
+    let population = keys trial_rng n in
+    let splitters = Sample_sort.choose_splitters ~cmp trial_rng population ~p ~s in
+    let buckets = Sample_sort.partition ~cmp population ~splitters in
+    ratios.(t) <- Sample_sort.max_bucket_ratio buckets
+  done;
+  let envelope = Sample_sort.theoretical_envelope ~n in
+  let exceed_count = Array.fold_left (fun acc r -> if r > envelope then acc + 1 else acc) 0 ratios in
+  { trials; n; p; s; ratios = Stats.summarize ratios; envelope; exceed_count }
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "n=%d p=%d s=%d trials=%d: max-bucket ratio %a; envelope %.4f exceeded %d/%d" r.n r.p
+    r.s r.trials Stats.pp_summary r.ratios r.envelope r.exceed_count r.trials

@@ -1,0 +1,30 @@
+(** Empirical verification of the Theorem B.4 bucket-size bound: run
+    many seeded sample-sort trials and measure how often the largest
+    bucket exceeds the [(N/p)(1 + (1/ln N)^(1/3))] envelope. *)
+
+type report = {
+  trials : int;
+  n : int;
+  p : int;
+  s : int;
+  ratios : Numerics.Stats.summary;  (** of MaxSize/(N/p) over trials *)
+  envelope : float;  (** [1 + (1/ln N)^(1/3)] *)
+  exceed_count : int;  (** trials whose ratio exceeded the envelope *)
+}
+
+val run :
+  ?cmp:(float -> float -> int) ->
+  ?s:int ->
+  Numerics.Rng.t ->
+  keys:(Numerics.Rng.t -> int -> float array) ->
+  n:int -> p:int -> trials:int ->
+  report
+(** [keys rng n] generates the input population for each trial (e.g.
+    uniform or Zipf-skewed draws). *)
+
+val uniform_keys : Numerics.Rng.t -> int -> float array
+val zipf_like_keys : ?skew:float -> Numerics.Rng.t -> int -> float array
+(** Heavy repetition of small values: a stress test for splitter
+    selection under skew. *)
+
+val pp_report : Format.formatter -> report -> unit

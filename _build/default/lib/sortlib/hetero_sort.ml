@@ -1,0 +1,40 @@
+module Star = Platform.Star
+module Processor = Platform.Processor
+
+type result = {
+  bucket_sizes : int array;
+  sorted : float array;
+  times : float array;
+  imbalance : float;
+  timing : Parallel_model.timing;
+}
+
+let log2 x = log x /. log 2.
+let nlogn n = if n <= 1. then 0. else n *. log2 n
+
+let run ?s rng star ~keys =
+  if Array.length keys = 0 then invalid_arg "Hetero_sort.run: empty input";
+  let n = Array.length keys in
+  let s = match s with Some s -> s | None -> Sample_sort.default_oversampling ~n in
+  let cmp = Float.compare in
+  let weights = Star.speeds star in
+  let splitters =
+    if Star.size star = 1 then [||]
+    else Sample_sort.weighted_splitters ~cmp rng keys ~weights ~s
+  in
+  let buckets = Sample_sort.partition ~cmp keys ~splitters in
+  Array.iter (Array.sort cmp) buckets.Sample_sort.contents;
+  let sorted = Array.concat (Array.to_list buckets.Sample_sort.contents) in
+  let bucket_sizes = Array.map Array.length buckets.Sample_sort.contents in
+  let workers = Star.workers star in
+  let times =
+    Array.mapi
+      (fun i size ->
+        Processor.compute_time workers.(i) ~work:(nlogn (float_of_int size)))
+      bucket_sizes
+  in
+  let tmax = Array.fold_left Float.max 0. times in
+  let tmin = Array.fold_left Float.min infinity times in
+  let imbalance = if tmin > 0. then (tmax -. tmin) /. tmin else infinity in
+  let timing = Parallel_model.evaluate star ~bucket_sizes ~s in
+  { bucket_sizes; sorted; times; imbalance; timing }

@@ -1,0 +1,19 @@
+(** Heterogeneous sample sort (Section 3.2): splitters are placed so
+    that bucket [i] receives a fraction of the keys proportional to the
+    speed of worker [i], balancing the [w_i · N_i log N_i] local sort
+    times. *)
+
+type result = {
+  bucket_sizes : int array;  (** in platform order *)
+  sorted : float array;  (** the fully sorted output *)
+  times : float array;  (** per-worker local sort times *)
+  imbalance : float;  (** (tmax - tmin)/tmin over local sort times *)
+  timing : Parallel_model.timing;
+}
+
+val run :
+  ?s:int -> Numerics.Rng.t -> Platform.Star.t -> keys:float array -> result
+(** Executes the full pipeline: weighted splitter choice, bucketing,
+    local sorts (actually performed, so [sorted] is checked against the
+    input), and the timing model.  [s] defaults to
+    {!Sample_sort.default_oversampling}. *)

@@ -1,0 +1,88 @@
+type result = { splitters : float array; bucket_sizes : int array; passes : int }
+
+(* Count, in one pass, how many keys are (strictly) below each probe.
+   Probes must be sorted; returns cumulative counts. *)
+let ranks keys probes =
+  let m = Array.length probes in
+  let counts = Array.make (m + 1) 0 in
+  Array.iter
+    (fun key ->
+      (* Index of the first probe > key — i.e. the key's interval. *)
+      let rec search lo hi =
+        if lo >= hi then lo
+        else
+          let mid = (lo + hi) / 2 in
+          if key < probes.(mid) then search lo mid else search (mid + 1) hi
+      in
+      let interval = search 0 m in
+      counts.(interval) <- counts.(interval) + 1)
+    keys;
+  let cumulative = Array.make m 0 in
+  let acc = ref 0 in
+  for j = 0 to m - 1 do
+    acc := !acc + counts.(j);
+    cumulative.(j) <- !acc
+  done;
+  cumulative
+
+let bucket_sizes_of keys splitters =
+  let buckets = Sample_sort.partition ~cmp:Float.compare keys ~splitters in
+  Array.map Array.length buckets.Sample_sort.contents
+
+let splitters ?(tolerance = 0.02) ?(max_passes = 64) keys ~p =
+  if Array.length keys = 0 then invalid_arg "Histogram_sort.splitters: empty input";
+  if p < 1 then invalid_arg "Histogram_sort.splitters: p must be >= 1";
+  let n = Array.length keys in
+  if p = 1 then { splitters = [||]; bucket_sizes = [| n |]; passes = 0 }
+  else begin
+    let lo0 = Array.fold_left Float.min keys.(0) keys in
+    let hi0 = Array.fold_left Float.max keys.(0) keys in
+    let m = p - 1 in
+    let lo = Array.make m lo0 and hi = Array.make m (hi0 +. 1.) in
+    let targets = Array.init m (fun j -> (j + 1) * n / p) in
+    let ideal = float_of_int n /. float_of_int p in
+    let balanced sizes =
+      Array.for_all
+        (fun size -> Float.abs (float_of_int size -. ideal) <= tolerance *. ideal)
+        sizes
+    in
+    let passes = ref 0 in
+    let current () = Array.init m (fun j -> 0.5 *. (lo.(j) +. hi.(j))) in
+    let rec refine () =
+      let probes = current () in
+      (* The counting pass needs sorted probes, but each rank must be
+         credited to the bracket that produced the probe: sort an index
+         permutation alongside. *)
+      let order = Array.init m (fun j -> j) in
+      Array.sort (fun i j -> Float.compare probes.(i) probes.(j)) order;
+      let sorted_probes = Array.map (fun j -> probes.(j)) order in
+      incr passes;
+      let cumulative = ranks keys sorted_probes in
+      Array.iteri
+        (fun position j ->
+          (* [cumulative.(position)] keys lie strictly below probe j. *)
+          if cumulative.(position) < targets.(j) then lo.(j) <- probes.(j)
+          else hi.(j) <- probes.(j))
+        order;
+      let sizes = bucket_sizes_of keys sorted_probes in
+      if balanced sizes || !passes >= max_passes then
+        { splitters = sorted_probes; bucket_sizes = sizes; passes = !passes }
+      else refine ()
+    in
+    refine ()
+  end
+
+let sort ?tolerance keys ~p =
+  if Array.length keys = 0 then [||]
+  else begin
+    let { splitters = s; _ } = splitters ?tolerance keys ~p in
+    let buckets = Sample_sort.partition ~cmp:Float.compare keys ~splitters:s in
+    Array.iter (Array.sort Float.compare) buckets.Sample_sort.contents;
+    Array.concat (Array.to_list buckets.Sample_sort.contents)
+  end
+
+let max_bucket_ratio result =
+  let n = Array.fold_left ( + ) 0 result.bucket_sizes in
+  let p = Array.length result.bucket_sizes in
+  let ideal = float_of_int n /. float_of_int p in
+  float_of_int (Array.fold_left max 0 result.bucket_sizes) /. ideal

@@ -1,0 +1,49 @@
+let is_sorted a =
+  let ok = ref true in
+  for i = 0 to Array.length a - 2 do
+    if a.(i) > a.(i + 1) then ok := false
+  done;
+  !ok
+
+let two_way a b =
+  let na = Array.length a and nb = Array.length b in
+  let out = Array.make (na + nb) 0. in
+  let i = ref 0 and j = ref 0 in
+  for k = 0 to na + nb - 1 do
+    if !i < na && (!j >= nb || a.(!i) <= b.(!j)) then begin
+      out.(k) <- a.(!i);
+      incr i
+    end
+    else begin
+      out.(k) <- b.(!j);
+      incr j
+    end
+  done;
+  out
+
+(* Min-heap of (value, run index); cursors track each run's position. *)
+let k_way runs =
+  List.iter (fun run -> assert (is_sorted run)) runs;
+  let runs = Array.of_list (List.filter (fun r -> Array.length r > 0) runs) in
+  let k = Array.length runs in
+  if k = 0 then [||]
+  else if k = 1 then Array.copy runs.(0)
+  else begin
+    let total = Array.fold_left (fun acc r -> acc + Array.length r) 0 runs in
+    let out = Array.make total 0. in
+    let cursor = Array.make k 0 in
+    let heap = Des.Event_queue.create ~initial_capacity:k () in
+    for r = 0 to k - 1 do
+      Des.Event_queue.push heap ~priority:runs.(r).(0) r
+    done;
+    for slot = 0 to total - 1 do
+      match Des.Event_queue.pop heap with
+      | None -> assert false
+      | Some (value, r) ->
+          out.(slot) <- value;
+          cursor.(r) <- cursor.(r) + 1;
+          if cursor.(r) < Array.length runs.(r) then
+            Des.Event_queue.push heap ~priority:runs.(r).(cursor.(r)) r
+    done;
+    out
+  end

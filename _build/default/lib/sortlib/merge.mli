@@ -1,0 +1,14 @@
+(** K-way merge of sorted runs with a binary heap — the linear-ithmic
+    building block the bucket-merging phases of PSRS and the MapReduce
+    sort reducers need ([O(N log k)] instead of re-sorting,
+    [O(N log N)]). *)
+
+val k_way : float array list -> float array
+(** Merge sorted runs into one sorted array.  Runs must each be sorted
+    ascending (checked in debug builds via [assert]); empty runs are
+    fine. *)
+
+val two_way : float array -> float array -> float array
+(** The classical binary merge, exposed for tests and small cases. *)
+
+val is_sorted : float array -> bool

@@ -1,0 +1,37 @@
+module Rng = Numerics.Rng
+
+let sort ?domains ?s rng keys ~p =
+  if p < 1 then invalid_arg "Multicore.sort: p must be >= 1";
+  let n = Array.length keys in
+  if n = 0 then [||]
+  else if p = 1 then begin
+    let out = Array.copy keys in
+    Array.sort Float.compare out;
+    out
+  end
+  else begin
+    let s = match s with Some s -> s | None -> Sample_sort.default_oversampling ~n in
+    let splitters = Sample_sort.choose_splitters ~cmp:Float.compare rng keys ~p ~s in
+    let buckets = Sample_sort.partition ~cmp:Float.compare keys ~splitters in
+    let contents = buckets.Sample_sort.contents in
+    (* Phase 3 in parallel: buckets are disjoint arrays, so sorting them
+       from different domains is race-free. *)
+    Numerics.Parallel.parallel_for ?domains (Array.length contents) (fun b ->
+        Array.sort Float.compare contents.(b));
+    Array.concat (Array.to_list contents)
+  end
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  (result, Unix.gettimeofday () -. t0)
+
+let speedup ?domains rng ~n ~p =
+  let keys = Array.init n (fun _ -> Rng.float rng) in
+  let sequential_rng = Rng.copy rng in
+  let _, sequential =
+    time (fun () -> sort ~domains:1 sequential_rng keys ~p)
+  in
+  let parallel_rng = Rng.copy rng in
+  let _, parallel = time (fun () -> sort ?domains parallel_rng keys ~p) in
+  (sequential, parallel, sequential /. parallel)

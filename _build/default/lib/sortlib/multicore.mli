@@ -1,0 +1,17 @@
+(** Sample sort executed on real cores (OCaml 5 domains): the Section 3
+    pipeline with phase 3's local sorts — the divisible part — actually
+    running in parallel.  The speedup measured by the benchmark harness
+    is the practical counterpart of the paper's claim that sorting is
+    almost divisible. *)
+
+val sort :
+  ?domains:int -> ?s:int -> Numerics.Rng.t -> float array -> p:int -> float array
+(** Same contract as {!Sample_sort.sort} specialized to floats, with
+    the per-bucket sorts dispatched over [domains] (default
+    [Domain.recommended_domain_count]).  Deterministic: the domain count
+    affects timing only, never the output. *)
+
+val speedup :
+  ?domains:int -> Numerics.Rng.t -> n:int -> p:int -> float * float * float
+(** Measure [(sequential seconds, parallel seconds, speedup)] on a
+    fresh random array of size [n] — used by the bench harness. *)

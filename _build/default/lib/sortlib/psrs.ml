@@ -1,0 +1,83 @@
+type result = {
+  splitters : float array;
+  bucket_sizes : int array;
+  sorted : float array;
+}
+
+let sort keys ~p =
+  if p < 1 then invalid_arg "Psrs.sort: p must be >= 1";
+  let n = Array.length keys in
+  if n = 0 then { splitters = [||]; bucket_sizes = Array.make p 0; sorted = [||] }
+  else begin
+    (* Local phase: p contiguous chunks, each sorted. *)
+    let chunk_sizes = Numerics.Apportion.largest_remainder ~weights:(Array.make p 1.) ~total:n in
+    let chunks =
+      let start = ref 0 in
+      Array.map
+        (fun size ->
+          let chunk = Array.sub keys !start size in
+          start := !start + size;
+          Array.sort Float.compare chunk;
+          chunk)
+        chunk_sizes
+    in
+    (* Regular samples: p from each non-empty chunk. *)
+    let samples = ref [] in
+    Array.iter
+      (fun chunk ->
+        let size = Array.length chunk in
+        if size > 0 then
+          for j = 0 to p - 1 do
+            samples := chunk.(j * size / p) :: !samples
+          done)
+      chunks;
+    let samples = Array.of_list !samples in
+    Array.sort Float.compare samples;
+    let m = Array.length samples in
+    let splitters =
+      if p = 1 then [||]
+      else
+        Array.init (p - 1) (fun j ->
+            let rank = (j + 1) * m / p in
+            samples.(min rank (m - 1)))
+    in
+    (* Exchange phase: every (sorted) chunk is split by the splitters;
+       bucket b collects its slice of every chunk, then merges. *)
+    let buckets = Array.make p [] in
+    Array.iter
+      (fun chunk ->
+        let start = ref 0 in
+        for b = 0 to p - 1 do
+          let finish =
+            if b = p - 1 then Array.length chunk
+            else begin
+              (* First index with chunk.(i) >= splitters.(b). *)
+              let rec search lo hi =
+                if lo >= hi then lo
+                else
+                  let mid = (lo + hi) / 2 in
+                  if chunk.(mid) < splitters.(b) then search (mid + 1) hi else search lo mid
+              in
+              search !start (Array.length chunk)
+            end
+          in
+          buckets.(b) <- Array.sub chunk !start (finish - !start) :: buckets.(b);
+          start := finish
+        done)
+      chunks;
+    (* Each bucket's pieces are already sorted: k-way merge them. *)
+    let merged = Array.map (fun pieces -> Merge.k_way (List.rev pieces)) buckets in
+    {
+      splitters;
+      bucket_sizes = Array.map Array.length merged;
+      sorted = Array.concat (Array.to_list merged);
+    }
+  end
+
+let max_bucket_ratio result =
+  let n = Array.fold_left ( + ) 0 result.bucket_sizes in
+  let p = Array.length result.bucket_sizes in
+  if n = 0 then 0.
+  else
+    float_of_int (Array.fold_left max 0 result.bucket_sizes)
+    /. (float_of_int n /. float_of_int p)

@@ -1,0 +1,85 @@
+module Rng = Numerics.Rng
+
+type 'a buckets = { splitters : 'a array; contents : 'a array array }
+
+let default_oversampling ~n =
+  let l = log (float_of_int (max 2 n)) /. log 2. in
+  max 1 (int_of_float (Float.round (l *. l)))
+
+let take_sample rng keys count =
+  Array.init count (fun _ -> keys.(Rng.int rng (Array.length keys)))
+
+let choose_splitters ?(cmp = compare) rng keys ~p ~s =
+  if p < 1 then invalid_arg "Sample_sort.choose_splitters: p must be >= 1";
+  if s < 1 then invalid_arg "Sample_sort.choose_splitters: s must be >= 1";
+  if Array.length keys = 0 then invalid_arg "Sample_sort.choose_splitters: empty input";
+  let sample = take_sample rng keys (s * p) in
+  Array.sort cmp sample;
+  Array.init (p - 1) (fun j -> sample.((j + 1) * s))
+
+let weighted_splitters ?(cmp = compare) rng keys ~weights ~s =
+  let p = Array.length weights in
+  if p < 1 then invalid_arg "Sample_sort.weighted_splitters: empty weights";
+  if s < 1 then invalid_arg "Sample_sort.weighted_splitters: s must be >= 1";
+  if Array.length keys = 0 then invalid_arg "Sample_sort.weighted_splitters: empty input";
+  Array.iter
+    (fun w -> if w <= 0. || Float.is_nan w then invalid_arg "Sample_sort.weighted_splitters: bad weight")
+    weights;
+  let total = Numerics.Kahan.sum weights in
+  let sample_size = s * p in
+  let sample = take_sample rng keys sample_size in
+  Array.sort cmp sample;
+  let cumulative = ref 0. in
+  Array.init (p - 1) (fun j ->
+      cumulative := !cumulative +. weights.(j);
+      let rank =
+        int_of_float (Float.round (!cumulative /. total *. float_of_int sample_size))
+      in
+      sample.(min (max rank 0) (sample_size - 1)))
+
+let bucket_index ?(cmp = compare) splitters key =
+  (* Smallest i with key < splitters.(i); p-1 when none. *)
+  let rec search lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if cmp key splitters.(mid) < 0 then search lo mid else search (mid + 1) hi
+  in
+  search 0 (Array.length splitters)
+
+let partition ?(cmp = compare) keys ~splitters =
+  let p = Array.length splitters + 1 in
+  let cells = Array.make p [] in
+  Array.iter
+    (fun key ->
+      let b = bucket_index ~cmp splitters key in
+      cells.(b) <- key :: cells.(b))
+    keys;
+  let contents = Array.map (fun cell -> Array.of_list (List.rev cell)) cells in
+  { splitters; contents }
+
+let sort ?(cmp = compare) ?s rng keys ~p =
+  if p < 1 then invalid_arg "Sample_sort.sort: p must be >= 1";
+  if Array.length keys = 0 then [||]
+  else if p = 1 then begin
+    let out = Array.copy keys in
+    Array.sort cmp out;
+    out
+  end
+  else begin
+    let s = match s with Some s -> s | None -> default_oversampling ~n:(Array.length keys) in
+    let splitters = choose_splitters ~cmp rng keys ~p ~s in
+    let { contents; _ } = partition ~cmp keys ~splitters in
+    Array.iter (Array.sort cmp) contents;
+    Array.concat (Array.to_list contents)
+  end
+
+let max_bucket_ratio buckets =
+  let sizes = Array.map Array.length buckets.contents in
+  let total = Array.fold_left ( + ) 0 sizes in
+  let p = Array.length sizes in
+  let expected = float_of_int total /. float_of_int p in
+  float_of_int (Array.fold_left max 0 sizes) /. expected
+
+let theoretical_envelope ~n =
+  1. +. ((1. /. log (float_of_int (max 3 n))) ** (1. /. 3.))

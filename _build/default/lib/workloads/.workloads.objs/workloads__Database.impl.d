@@ -1,0 +1,1 @@
+lib/workloads/database.ml: Array Dlt Numerics Platform

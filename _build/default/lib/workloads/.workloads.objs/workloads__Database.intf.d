@@ -1,0 +1,1 @@
+lib/workloads/database.mli: Numerics Platform

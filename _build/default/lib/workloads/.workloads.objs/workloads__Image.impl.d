@@ -1,0 +1,1 @@
+lib/workloads/image.ml: Array Dlt Linalg Numerics Platform

@@ -1,0 +1,68 @@
+module Rng = Numerics.Rng
+module Star = Platform.Star
+module Processor = Platform.Processor
+
+type estimate = { value : float; std_error : float; samples : int }
+
+(* Accumulate Σf and Σf² so partial results pool exactly. *)
+let sums rng ~f ~samples =
+  let sum = Numerics.Kahan.create () and squares = Numerics.Kahan.create () in
+  for _ = 1 to samples do
+    let v = f (Rng.float rng) (Rng.float rng) in
+    Numerics.Kahan.add sum v;
+    Numerics.Kahan.add squares (v *. v)
+  done;
+  (Numerics.Kahan.total sum, Numerics.Kahan.total squares)
+
+let estimate_of_sums ~sum ~squares ~samples =
+  let n = float_of_int samples in
+  let mean = sum /. n in
+  let variance = Float.max 0. ((squares /. n) -. (mean *. mean)) in
+  { value = mean; std_error = sqrt (variance /. n); samples }
+
+let estimate rng ~f ~samples =
+  if samples <= 0 then invalid_arg "Montecarlo.estimate: samples must be > 0";
+  let sum, squares = sums rng ~f ~samples in
+  estimate_of_sums ~sum ~squares ~samples
+
+let pi rng ~samples =
+  let indicator x y = if (x *. x) +. (y *. y) < 1. then 4. else 0. in
+  estimate rng ~f:indicator ~samples
+
+type distributed = {
+  combined : estimate;
+  per_worker : int array;
+  makespan : float;
+  efficiency : float;
+}
+
+let distributed_estimate rng star ~f ~samples =
+  if samples <= 0 then invalid_arg "Montecarlo.distributed_estimate: samples must be > 0";
+  let per_worker =
+    Numerics.Apportion.largest_remainder
+      ~weights:(Star.relative_speeds star)
+      ~total:samples
+  in
+  let workers = Star.workers star in
+  let sum = Numerics.Kahan.create () and squares = Numerics.Kahan.create () in
+  let makespan = ref 0. in
+  Array.iteri
+    (fun i count ->
+      if count > 0 then begin
+        let worker_rng = Rng.split rng in
+        let s, sq = sums worker_rng ~f ~samples:count in
+        Numerics.Kahan.add sum s;
+        Numerics.Kahan.add squares sq;
+        let finish = Processor.compute_time workers.(i) ~work:(float_of_int count) in
+        if finish > !makespan then makespan := finish
+      end)
+    per_worker;
+  let ideal = float_of_int samples /. Star.total_speed star in
+  {
+    combined =
+      estimate_of_sums ~sum:(Numerics.Kahan.total sum)
+        ~squares:(Numerics.Kahan.total squares) ~samples;
+    per_worker;
+    makespan = !makespan;
+    efficiency = (if !makespan > 0. then ideal /. !makespan else 1.);
+  }

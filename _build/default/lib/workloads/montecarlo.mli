@@ -1,0 +1,41 @@
+(** Monte-Carlo estimation — the communication-free extreme of the
+    divisibility spectrum the paper maps out: sample counts split
+    arbitrarily, no input data to ship at all (only a seed), cost
+    exactly linear.  Where matrix multiplication is the "no free lunch"
+    case, Monte Carlo is the free lunch.
+
+    The estimator integrates a function over the unit square by uniform
+    sampling; the distributed version assigns sample counts with the
+    linear-DLT shares (reduced to pure compute, since transfers are a
+    few words) and merges the per-worker sums exactly. *)
+
+type estimate = {
+  value : float;
+  std_error : float;  (** √(sample variance / samples) *)
+  samples : int;
+}
+
+val estimate :
+  Numerics.Rng.t -> f:(float -> float -> float) -> samples:int -> estimate
+(** Plain sequential estimator of [∫∫ f] over [\[0,1)²].  Requires
+    [samples > 0]. *)
+
+val pi : Numerics.Rng.t -> samples:int -> estimate
+(** The classic disc-area estimator of π. *)
+
+type distributed = {
+  combined : estimate;
+  per_worker : int array;  (** sample counts, ∝ speeds *)
+  makespan : float;  (** parallel compute, one sample = one work unit *)
+  efficiency : float;  (** ideal/actual, ≈ 1: nothing to communicate *)
+}
+
+val distributed_estimate :
+  Numerics.Rng.t ->
+  Platform.Star.t ->
+  f:(float -> float -> float) ->
+  samples:int ->
+  distributed
+(** Each worker draws an independent split of the generator; the
+    combined estimate pools sums and sums-of-squares exactly, so the
+    result is identical in distribution to the sequential estimator. *)

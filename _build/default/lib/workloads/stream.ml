@@ -1,0 +1,41 @@
+module Star = Platform.Star
+module Processor = Platform.Processor
+
+let check ~frame_size ~frame_cost =
+  if frame_size <= 0. || frame_cost <= 0. then
+    invalid_arg "Stream: frame size and cost must be positive"
+
+(* A platform whose unit of data/work is one frame. *)
+let normalized star ~frame_size ~frame_cost =
+  Star.create
+    (Array.to_list
+       (Array.map
+          (fun (p : Processor.t) ->
+            Processor.make ~id:p.Processor.id
+              ~speed:(p.Processor.speed /. frame_cost)
+              ~bandwidth:(p.Processor.bandwidth /. frame_size)
+              ~latency:p.Processor.latency ())
+          (Star.workers star)))
+
+let sustainable_fps star ~frame_size ~frame_cost =
+  check ~frame_size ~frame_cost;
+  (Dlt.Steady_state.one_port (normalized star ~frame_size ~frame_cost)).Dlt.Steady_state
+    .throughput
+
+let burst_makespan star ~frames ~frame_size ~frame_cost ~rounds =
+  check ~frame_size ~frame_cost;
+  if frames < 0 then invalid_arg "Stream.burst_makespan: negative burst";
+  let star = normalized star ~frame_size ~frame_cost in
+  let allocation = Dlt.Linear.one_port_allocation star ~total:(float_of_int frames) in
+  Dlt.Multi_round.makespan Dlt.Schedule.One_port star Dlt.Cost_model.Linear ~allocation
+    ~rounds
+
+let pipeline_gain star ~frames ~frame_size ~frame_cost =
+  let single = burst_makespan star ~frames ~frame_size ~frame_cost ~rounds:1 in
+  let star_n = normalized star ~frame_size ~frame_cost in
+  let allocation = Dlt.Linear.one_port_allocation star_n ~total:(float_of_int frames) in
+  let _, best =
+    Dlt.Multi_round.best_rounds Dlt.Schedule.One_port star_n Dlt.Cost_model.Linear
+      ~allocation
+  in
+  single /. best

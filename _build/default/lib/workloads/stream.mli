@@ -1,0 +1,27 @@
+(** Video / streaming pipelines — the multimedia DLT applications of
+    §1.1 (refs [12, 13]): a long stream of fixed-size frames, each with
+    a linear processing cost.
+
+    Frames are natural "installments": a burst is dispatched with the
+    multi-round pipeline, and the sustainable frame rate comes from the
+    steady-state closed form on a frame-normalized platform. *)
+
+val sustainable_fps :
+  Platform.Star.t -> frame_size:float -> frame_cost:float -> float
+(** Maximum frames/time the one-port master can sustain: worker [i]
+    processes at most [s_i/frame_cost] and receives at most
+    [bw_i/frame_size] frames per time unit; the port adds
+    [Σ rate_i·frame_size/bw_i <= 1]. *)
+
+val burst_makespan :
+  Platform.Star.t ->
+  frames:int -> frame_size:float -> frame_cost:float -> rounds:int ->
+  float
+(** Time to process a finite burst, dispatched in [rounds]
+    installments sized by the linear-DLT shares (one-port pipeline,
+    {!Dlt.Multi_round}). *)
+
+val pipeline_gain :
+  Platform.Star.t -> frames:int -> frame_size:float -> frame_cost:float -> float
+(** [burst_makespan ~rounds:1 / burst_makespan ~rounds:best]: how much
+    installment pipelining buys on this platform. *)

@@ -1,0 +1,1 @@
+test/test_block_hom.ml: Alcotest Array Float Gen List Partition Platform QCheck QCheck_alcotest

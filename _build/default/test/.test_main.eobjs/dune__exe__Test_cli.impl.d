@@ -1,0 +1,1 @@
+test/test_cli.ml: Alcotest Array Cli Filename Fun Out_channel String Sys Unix

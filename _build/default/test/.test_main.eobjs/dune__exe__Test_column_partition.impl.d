@@ -1,0 +1,1 @@
+test/test_column_partition.ml: Alcotest Array Fun Gen List Numerics Partition Platform QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_des.ml: Alcotest Des Float Gen List QCheck QCheck_alcotest String

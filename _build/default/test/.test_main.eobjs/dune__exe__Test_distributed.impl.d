@@ -1,0 +1,1 @@
+test/test_distributed.ml: Alcotest Array Gen Linalg Numerics Partition Platform QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_dlt_linear.ml: Alcotest Array Dlt Float Gen List Numerics Platform QCheck QCheck_alcotest String

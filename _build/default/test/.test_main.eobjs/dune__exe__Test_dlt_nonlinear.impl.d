@@ -1,0 +1,1 @@
+test/test_dlt_nonlinear.ml: Alcotest Array Dlt Float Gen List Numerics Platform QCheck QCheck_alcotest

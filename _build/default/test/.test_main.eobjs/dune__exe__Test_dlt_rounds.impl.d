@@ -1,0 +1,1 @@
+test/test_dlt_rounds.ml: Alcotest Dlt Float Gen List Platform QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Experiments Float List Numerics Platform

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Float Gen Linalg List Mapreduce Numerics Partition Platform QCheck QCheck_alcotest Sortlib

@@ -1,0 +1,1 @@
+test/test_facade.ml: Alcotest Array Core Float Numerics String

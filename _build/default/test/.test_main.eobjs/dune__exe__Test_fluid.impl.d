@@ -1,0 +1,1 @@
+test/test_fluid.ml: Alcotest Array Des Float Gen List Numerics Partition Platform QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_gaps.ml: Alcotest Array Des Dlt Experiments Format List Numerics Partition Platform String

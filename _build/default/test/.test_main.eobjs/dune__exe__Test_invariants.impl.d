@@ -1,0 +1,1 @@
+test/test_invariants.ml: Array Des Dlt Float Linalg List Numerics Partition Platform QCheck QCheck_alcotest Sortlib

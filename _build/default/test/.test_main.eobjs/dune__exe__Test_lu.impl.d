@@ -1,0 +1,1 @@
+test/test_lu.ml: Alcotest Array Float Linalg List Numerics Printf QCheck QCheck_alcotest

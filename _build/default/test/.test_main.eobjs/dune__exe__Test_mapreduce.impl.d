@@ -1,0 +1,1 @@
+test/test_mapreduce.ml: Alcotest Array Float Gen Linalg List Mapreduce Numerics Platform QCheck QCheck_alcotest

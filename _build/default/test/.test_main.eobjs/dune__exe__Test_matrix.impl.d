@@ -1,0 +1,1 @@
+test/test_matrix.ml: Alcotest Array Linalg Numerics QCheck QCheck_alcotest

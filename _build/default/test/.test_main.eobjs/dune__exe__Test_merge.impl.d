@@ -1,0 +1,1 @@
+test/test_merge.ml: Alcotest Array Float Gen List Numerics QCheck QCheck_alcotest Sortlib

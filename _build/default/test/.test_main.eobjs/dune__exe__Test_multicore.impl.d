@@ -1,0 +1,1 @@
+test/test_multicore.ml: Alcotest Array Float Linalg List Numerics Platform Printf QCheck QCheck_alcotest Sortlib

@@ -1,0 +1,1 @@
+test/test_numerics.ml: Alcotest Array Float Gen List Numerics QCheck QCheck_alcotest String

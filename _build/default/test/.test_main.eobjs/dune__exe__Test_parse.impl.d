@@ -1,0 +1,1 @@
+test/test_parse.ml: Alcotest Array Filename Float Fun Gen List Out_channel Platform Printf QCheck QCheck_alcotest String Sys

@@ -1,0 +1,1 @@
+test/test_partition_geometry.ml: Alcotest Array Gen List Partition Platform QCheck QCheck_alcotest String

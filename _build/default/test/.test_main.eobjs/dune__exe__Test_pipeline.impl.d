@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Array Des Linalg List Mapreduce Numerics Platform

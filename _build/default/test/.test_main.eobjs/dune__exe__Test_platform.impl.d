@@ -1,0 +1,1 @@
+test/test_platform.ml: Alcotest Array Float Fun Gen List Numerics Platform QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_process.ml: Alcotest Array Des Dlt List Platform

@@ -1,0 +1,1 @@
+test/test_psrs.ml: Alcotest Array Dlt Float Gen List Mapreduce Numerics Platform QCheck QCheck_alcotest Sortlib

@@ -1,0 +1,1 @@
+test/test_sample_sort.ml: Alcotest Array Float Gen Int List Numerics Platform QCheck QCheck_alcotest Sortlib

@@ -1,0 +1,1 @@
+test/test_sort_model.ml: Alcotest Array List Platform QCheck QCheck_alcotest Sortlib

@@ -1,0 +1,1 @@
+test/test_special.ml: Alcotest Array Float List Numerics QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_timed.ml: Alcotest Array Experiments List Numerics Partition Platform

@@ -1,0 +1,1 @@
+test/test_topology_ablation.ml: Alcotest Experiments

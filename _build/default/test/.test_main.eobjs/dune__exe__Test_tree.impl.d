@@ -1,0 +1,1 @@
+test/test_tree.ml: Alcotest Array Dlt Float List Mapreduce Numerics Platform QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_wave3.ml: Alcotest Array Dlt Float Gen Linalg List Numerics Partition Platform QCheck QCheck_alcotest

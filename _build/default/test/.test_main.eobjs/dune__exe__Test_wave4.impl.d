@@ -1,0 +1,1 @@
+test/test_wave4.ml: Alcotest Array Experiments Filename Float Fun Gen List Mapreduce Numerics Platform QCheck QCheck_alcotest String Sys

@@ -1,0 +1,1 @@
+test/test_wave5.ml: Alcotest Array Des Dlt Float Linalg List Mapreduce Numerics Platform QCheck QCheck_alcotest Sortlib String

@@ -1,0 +1,1 @@
+test/test_wave6.ml: Alcotest Array Float Linalg List Numerics Platform Printf QCheck QCheck_alcotest Workloads

@@ -1,0 +1,1 @@
+test/test_wave7.ml: Alcotest Array Float Gen List Mapreduce Numerics Platform QCheck QCheck_alcotest

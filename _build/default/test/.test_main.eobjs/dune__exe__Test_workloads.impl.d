@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Linalg List Numerics Platform QCheck QCheck_alcotest Workloads

@@ -1,0 +1,1 @@
+test/test_zones.ml: Alcotest Array Float Gen Linalg List Numerics Platform Printf QCheck QCheck_alcotest String

@@ -1,0 +1,96 @@
+(* The command-line grammar, evaluated in-process. *)
+
+let checkb = Alcotest.(check bool)
+
+(* Swallow the command's stdout so test output stays readable. *)
+let eval_quietly argv =
+  let dev_null = open_out (if Sys.win32 then "NUL" else "/dev/null") in
+  let saved = Unix.dup Unix.stdout in
+  flush stdout;
+  Unix.dup2 (Unix.descr_of_out_channel dev_null) Unix.stdout;
+  Fun.protect
+    ~finally:(fun () ->
+      flush stdout;
+      Unix.dup2 saved Unix.stdout;
+      Unix.close saved;
+      close_out dev_null)
+    (fun () -> Cli.eval_value ~argv)
+
+let expect_ok argv =
+  match eval_quietly argv with
+  | Ok (`Ok ()) -> ()
+  | Ok `Help | Ok `Version -> ()
+  | Error e ->
+      Alcotest.failf "command failed (%s): %s"
+        (match e with `Exn -> "exception" | `Parse -> "parse" | `Term -> "term")
+        (String.concat " " (Array.to_list argv))
+
+let expect_parse_error argv =
+  (* Cmdliner reports unknown sub-commands as `Term errors and malformed
+     options as `Parse errors; both are rejections. *)
+  match eval_quietly argv with
+  | Error (`Parse | `Term) -> ()
+  | Ok _ | Error `Exn ->
+      Alcotest.failf "expected parse error: %s" (String.concat " " (Array.to_list argv))
+
+let test_version () = expect_ok [| "nldl"; "--version" |]
+let test_help () = expect_ok [| "nldl"; "--help=plain" |]
+let test_subcommand_help () = expect_ok [| "nldl"; "fig4"; "--help=plain" |]
+
+let test_partition_runs () = expect_ok [| "nldl"; "partition"; "--speeds"; "1,2,4" |]
+
+let test_partition_platform_file () =
+  let path = Filename.temp_file "nldl" ".platform" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Out_channel.with_open_text path (fun oc -> output_string oc "1 2\n3 4\n");
+      expect_ok [| "nldl"; "partition"; "--platform"; path |])
+
+let test_fig4_small_run () =
+  expect_ok [| "nldl"; "fig4"; "--trials"; "2"; "-p"; "10"; "--profile"; "homogeneous" |]
+
+let test_fig4_csv () =
+  let path = Filename.temp_file "nldl" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      expect_ok
+        [| "nldl"; "fig4"; "--trials"; "2"; "-p"; "10"; "--csv"; path |];
+      let ic = open_in path in
+      let header = input_line ic in
+      close_in ic;
+      checkb "csv written" true (String.length header > 0))
+
+let test_nonlinear_runs () =
+  expect_ok [| "nldl"; "nonlinear"; "--alpha"; "2"; "-p"; "2,4" |]
+
+let test_ratio_runs () = expect_ok [| "nldl"; "ratio"; "-k"; "4"; "-p"; "6" |]
+
+let test_unknown_command () = expect_parse_error [| "nldl"; "frobnicate" |]
+let test_bad_profile () =
+  expect_parse_error [| "nldl"; "fig4"; "--profile"; "warp-speed" |]
+let test_bad_number () = expect_parse_error [| "nldl"; "fig4"; "--trials"; "many" |]
+
+let test_verbose_accepted () =
+  expect_ok [| "nldl"; "partition"; "--speeds"; "1,2"; "-v" |]
+
+let suites =
+  [
+    ( "cli",
+      [
+        Alcotest.test_case "version" `Quick test_version;
+        Alcotest.test_case "help" `Quick test_help;
+        Alcotest.test_case "subcommand help" `Quick test_subcommand_help;
+        Alcotest.test_case "partition" `Quick test_partition_runs;
+        Alcotest.test_case "partition from file" `Quick test_partition_platform_file;
+        Alcotest.test_case "fig4 small" `Quick test_fig4_small_run;
+        Alcotest.test_case "fig4 csv" `Quick test_fig4_csv;
+        Alcotest.test_case "nonlinear" `Quick test_nonlinear_runs;
+        Alcotest.test_case "ratio" `Quick test_ratio_runs;
+        Alcotest.test_case "unknown command" `Quick test_unknown_command;
+        Alcotest.test_case "bad profile" `Quick test_bad_profile;
+        Alcotest.test_case "bad number" `Quick test_bad_number;
+        Alcotest.test_case "verbose flag" `Quick test_verbose_accepted;
+      ] );
+  ]

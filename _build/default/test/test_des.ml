@@ -1,0 +1,179 @@
+(* Discrete-event simulation core: event queue, engine, trace. *)
+
+module Event_queue = Des.Event_queue
+module Engine = Des.Engine
+module Trace = Des.Trace
+
+let checkb = Alcotest.(check bool)
+
+let test_queue_order () =
+  let q = Event_queue.create () in
+  List.iter (fun (p, v) -> Event_queue.push q ~priority:p v)
+    [ (3., "c"); (1., "a"); (2., "b") ];
+  let popped = List.init 3 (fun _ -> Event_queue.pop q) in
+  Alcotest.(check (list (option (pair (float 0.) string))))
+    "ascending priorities"
+    [ Some (1., "a"); Some (2., "b"); Some (3., "c") ]
+    popped
+
+let test_queue_fifo_ties () =
+  let q = Event_queue.create () in
+  List.iter (fun v -> Event_queue.push q ~priority:1. v) [ 1; 2; 3; 4 ];
+  let order = List.init 4 (fun _ -> match Event_queue.pop q with Some (_, v) -> v | None -> -1) in
+  Alcotest.(check (list int)) "FIFO within a timestamp" [ 1; 2; 3; 4 ] order
+
+let test_queue_empty () =
+  let q : int Event_queue.t = Event_queue.create () in
+  checkb "empty" true (Event_queue.is_empty q);
+  checkb "pop none" true (Event_queue.pop q = None);
+  checkb "peek none" true (Event_queue.peek q = None)
+
+let test_queue_peek () =
+  let q = Event_queue.create () in
+  Event_queue.push q ~priority:5. "x";
+  Event_queue.push q ~priority:2. "y";
+  checkb "peek min" true (Event_queue.peek q = Some (2., "y"));
+  Alcotest.(check int) "peek does not remove" 2 (Event_queue.size q)
+
+let test_queue_growth () =
+  let q = Event_queue.create ~initial_capacity:1 () in
+  for i = 0 to 999 do
+    Event_queue.push q ~priority:(float_of_int (999 - i)) i
+  done;
+  Alcotest.(check int) "size" 1000 (Event_queue.size q);
+  let first = Event_queue.pop q in
+  checkb "min first" true (first = Some (0., 999))
+
+let test_queue_nan () =
+  let q = Event_queue.create () in
+  Alcotest.check_raises "nan rejected" (Invalid_argument "Event_queue.push: NaN priority")
+    (fun () -> Event_queue.push q ~priority:Float.nan 0)
+
+let test_queue_clear () =
+  let q = Event_queue.create () in
+  Event_queue.push q ~priority:1. 1;
+  Event_queue.clear q;
+  checkb "cleared" true (Event_queue.is_empty q)
+
+let test_queue_snapshot () =
+  let q = Event_queue.create () in
+  List.iter (fun (p, v) -> Event_queue.push q ~priority:p v) [ (2., 20); (1., 10) ];
+  Alcotest.(check (list (pair (float 0.) int)))
+    "sorted snapshot" [ (1., 10); (2., 20) ] (Event_queue.to_sorted_list q);
+  Alcotest.(check int) "snapshot non-destructive" 2 (Event_queue.size q)
+
+let qcheck_queue_sorted =
+  QCheck.Test.make ~name:"event queue pops in sorted order" ~count:200
+    QCheck.(list_of_size Gen.(int_range 0 200) (float_range 0. 1000.))
+    (fun priorities ->
+      let q = Event_queue.create () in
+      List.iteri (fun i p -> Event_queue.push q ~priority:p i) priorities;
+      let rec drain acc =
+        match Event_queue.pop q with
+        | None -> List.rev acc
+        | Some (p, _) -> drain (p :: acc)
+      in
+      let popped = drain [] in
+      popped = List.sort Float.compare priorities)
+
+let test_engine_order () =
+  let engine = Engine.create () in
+  let log = ref [] in
+  Engine.schedule engine ~time:2. (fun _ -> log := "b" :: !log);
+  Engine.schedule engine ~time:1. (fun _ -> log := "a" :: !log);
+  Engine.schedule engine ~time:3. (fun _ -> log := "c" :: !log);
+  Engine.run engine;
+  Alcotest.(check (list string)) "handlers in time order" [ "a"; "b"; "c" ] (List.rev !log)
+
+let test_engine_now_advances () =
+  let engine = Engine.create () in
+  let seen = ref 0. in
+  Engine.schedule engine ~time:5. (fun e -> seen := Engine.now e);
+  Engine.run engine;
+  Alcotest.(check (float 0.)) "now at handler time" 5. !seen
+
+let test_engine_cascade () =
+  let engine = Engine.create () in
+  let count = ref 0 in
+  let rec tick e =
+    incr count;
+    if !count < 10 then Engine.schedule_after e ~delay:1. tick
+  in
+  Engine.schedule engine ~time:0. tick;
+  Engine.run engine;
+  Alcotest.(check int) "cascaded events" 10 !count;
+  Alcotest.(check (float 0.)) "final time" 9. (Engine.now engine)
+
+let test_engine_causality () =
+  let engine = Engine.create () in
+  Engine.schedule engine ~time:10. (fun e ->
+      try
+        Engine.schedule e ~time:5. (fun _ -> ());
+        Alcotest.fail "expected Causality"
+      with Engine.Causality _ -> ());
+  Engine.run engine
+
+let test_engine_horizon () =
+  let engine = Engine.create () in
+  let fired = ref [] in
+  List.iter
+    (fun t -> Engine.schedule engine ~time:t (fun _ -> fired := t :: !fired))
+    [ 1.; 2.; 3.; 4. ];
+  Engine.run ~until:2.5 engine;
+  Alcotest.(check (list (float 0.))) "only before horizon" [ 1.; 2. ] (List.rev !fired);
+  Alcotest.(check int) "rest still queued" 2 (Engine.pending engine)
+
+let test_trace_accounting () =
+  let trace = Trace.create () in
+  Trace.record trace ~resource:"w1" ~start:0. ~finish:2. ~label:"a";
+  Trace.record trace ~resource:"w1" ~start:3. ~finish:4. ~label:"b";
+  Trace.record trace ~resource:"w2" ~start:0. ~finish:1. ~label:"c";
+  Alcotest.(check (list string)) "resources" [ "w1"; "w2" ] (Trace.resources trace);
+  Alcotest.(check (float 1e-9)) "busy" 3. (Trace.busy_time trace ~resource:"w1");
+  Alcotest.(check (float 1e-9)) "makespan" 4. (Trace.makespan trace);
+  Alcotest.(check (float 1e-9)) "utilization" 0.75 (Trace.utilization trace ~resource:"w1")
+
+let test_trace_bad_interval () =
+  let trace = Trace.create () in
+  Alcotest.check_raises "finish < start" (Invalid_argument "Trace.record: finish < start")
+    (fun () -> Trace.record trace ~resource:"w" ~start:2. ~finish:1. ~label:"x")
+
+let test_trace_gantt () =
+  let trace = Trace.create () in
+  Trace.record trace ~resource:"w1" ~start:0. ~finish:1. ~label:"x";
+  let gantt = Trace.render_gantt trace in
+  checkb "gantt mentions resource" true
+    (String.length gantt > 0
+    &&
+    let lines = String.split_on_char '\n' gantt in
+    List.exists (fun l -> String.length l >= 2 && l.[0] = 'w') lines)
+
+let suites =
+  [
+    ( "event queue",
+      [
+        Alcotest.test_case "ordering" `Quick test_queue_order;
+        Alcotest.test_case "FIFO ties" `Quick test_queue_fifo_ties;
+        Alcotest.test_case "empty" `Quick test_queue_empty;
+        Alcotest.test_case "peek" `Quick test_queue_peek;
+        Alcotest.test_case "growth" `Quick test_queue_growth;
+        Alcotest.test_case "NaN rejected" `Quick test_queue_nan;
+        Alcotest.test_case "clear" `Quick test_queue_clear;
+        Alcotest.test_case "snapshot" `Quick test_queue_snapshot;
+        QCheck_alcotest.to_alcotest qcheck_queue_sorted;
+      ] );
+    ( "engine",
+      [
+        Alcotest.test_case "handler order" `Quick test_engine_order;
+        Alcotest.test_case "now advances" `Quick test_engine_now_advances;
+        Alcotest.test_case "cascade" `Quick test_engine_cascade;
+        Alcotest.test_case "causality" `Quick test_engine_causality;
+        Alcotest.test_case "horizon" `Quick test_engine_horizon;
+      ] );
+    ( "trace",
+      [
+        Alcotest.test_case "accounting" `Quick test_trace_accounting;
+        Alcotest.test_case "bad interval" `Quick test_trace_bad_interval;
+        Alcotest.test_case "gantt render" `Quick test_trace_gantt;
+      ] );
+  ]

@@ -1,0 +1,220 @@
+(* Non-linear DLT (paper §2): the numerical allocation solver, the
+   homogeneous closed form, and the no-free-lunch fraction. *)
+
+module Star = Platform.Star
+module Processor = Platform.Processor
+module Cost_model = Dlt.Cost_model
+module Nonlinear = Dlt.Nonlinear
+module Linear = Dlt.Linear
+module Fraction = Dlt.Fraction
+module Schedule = Dlt.Schedule
+
+let checkb = Alcotest.(check bool)
+let checkf msg ?(eps = 1e-9) expected actual =
+  Alcotest.(check (float eps)) msg expected actual
+
+let hom_star p = Star.of_speeds (List.init p (fun _ -> 1.))
+let het_star = Star.of_speeds ~bandwidth:2. [ 1.; 3.; 5.; 7. ]
+
+let test_worker_share_roundtrip () =
+  let proc = Processor.make ~id:1 ~speed:2. ~bandwidth:4. () in
+  let cost = Cost_model.Power 2. in
+  let deadline = 10. in
+  let n = Nonlinear.worker_share Schedule.Parallel proc cost ~offset:0. ~deadline in
+  (* c·n + w·n² should hit the deadline exactly. *)
+  checkf "finish = deadline" ~eps:1e-6 deadline ((0.25 *. n) +. (0.5 *. n *. n))
+
+let test_worker_share_zero_budget () =
+  let proc = Processor.make ~id:1 ~speed:1. () in
+  checkf "no time, no load" 0.
+    (Nonlinear.worker_share Schedule.Parallel proc Cost_model.Linear ~offset:5. ~deadline:5.)
+
+let test_homogeneous_equal_split () =
+  let star = hom_star 8 in
+  let allocation, _ =
+    Nonlinear.equal_finish_allocation Schedule.Parallel star (Cost_model.Power 2.)
+      ~total:100.
+  in
+  Array.iter (fun n -> checkf "N/p each" ~eps:1e-6 12.5 n) allocation
+
+let test_homogeneous_makespan_formula () =
+  let star = hom_star 4 in
+  let cost = Cost_model.Power 2. in
+  let _, makespan =
+    Nonlinear.equal_finish_allocation Schedule.Parallel star cost ~total:100.
+  in
+  checkf "c·N/p + w·(N/p)^2" ~eps:1e-5
+    (Nonlinear.homogeneous_makespan ~c:1. ~w:1. cost ~p:4 ~total:100.)
+    makespan
+
+let test_equal_finish_sums () =
+  List.iter
+    (fun model ->
+      let allocation, _ =
+        Nonlinear.equal_finish_allocation model het_star (Cost_model.Power 2.) ~total:50.
+      in
+      checkf "sums to total" ~eps:1e-6 50. (Numerics.Kahan.sum allocation))
+    [ Schedule.Parallel; Schedule.One_port ]
+
+let test_equal_finish_times_parallel () =
+  let cost = Cost_model.Power 1.7 in
+  let allocation, makespan =
+    Nonlinear.equal_finish_allocation Schedule.Parallel het_star cost ~total:50.
+  in
+  Array.iteri
+    (fun i n ->
+      let proc = Star.worker het_star i in
+      let finish = Processor.transfer_time proc ~data:n
+                   +. Processor.compute_time proc ~work:(Cost_model.work cost n) in
+      checkf "worker finishes at makespan" ~eps:1e-5 makespan finish)
+    allocation
+
+let test_equal_finish_times_one_port () =
+  let cost = Cost_model.Power 2. in
+  let allocation, makespan =
+    Nonlinear.equal_finish_allocation Schedule.One_port het_star cost ~total:50.
+  in
+  let offset = ref 0. in
+  Array.iteri
+    (fun i n ->
+      let proc = Star.worker het_star i in
+      let fetch = Processor.transfer_time proc ~data:n in
+      let finish =
+        !offset +. fetch +. Processor.compute_time proc ~work:(Cost_model.work cost n)
+      in
+      offset := !offset +. fetch;
+      checkf "sequential finish at makespan" ~eps:1e-5 makespan finish)
+    allocation
+
+let test_faster_workers_get_more () =
+  let allocation, _ =
+    Nonlinear.equal_finish_allocation Schedule.Parallel het_star (Cost_model.Power 2.)
+      ~total:50.
+  in
+  for i = 0 to Array.length allocation - 2 do
+    checkb "monotone in speed" true (allocation.(i) <= allocation.(i + 1) +. 1e-9)
+  done
+
+let test_alpha_one_matches_linear () =
+  let allocation_nl, _ =
+    Nonlinear.equal_finish_allocation Schedule.Parallel het_star Cost_model.Linear
+      ~total:50.
+  in
+  let allocation_lin = Linear.parallel_allocation het_star ~total:50. in
+  Array.iteri
+    (fun i n -> checkf "matches linear closed form" ~eps:1e-6 allocation_lin.(i) n)
+    allocation_nl
+
+let test_schedule_valid () =
+  List.iter
+    (fun model ->
+      let cost = Cost_model.Power 2. in
+      let schedule = Nonlinear.schedule model het_star cost ~total:20. in
+      match Schedule.validate model cost schedule with
+      | Ok () -> ()
+      | Error msg -> Alcotest.fail msg)
+    [ Schedule.Parallel; Schedule.One_port ]
+
+let qcheck_quadratic_closed_form =
+  (* The generic root-finder must agree with the analytic positive root
+     for alpha = 2 (Suresh et al.'s second-order loads). *)
+  QCheck.Test.make ~name:"numeric worker_share = quadratic closed form" ~count:200
+    QCheck.(
+      triple (float_range 0.1 10.) (float_range 0.1 10.) (float_range 0.1 100.))
+    (fun (speed, bandwidth, deadline) ->
+      let proc = Processor.make ~id:1 ~speed ~bandwidth () in
+      let numeric =
+        Nonlinear.worker_share Schedule.Parallel proc (Cost_model.Power 2.) ~offset:0.
+          ~deadline
+      in
+      let analytic = Nonlinear.quadratic_share proc ~offset:0. ~deadline in
+      Float.abs (numeric -. analytic) < 1e-6 *. (1. +. analytic))
+
+let test_quadratic_share_zero_budget () =
+  let proc = Processor.make ~id:1 ~speed:1. ~latency:5. () in
+  Alcotest.(check (float 0.)) "no budget, no load" 0.
+    (Nonlinear.quadratic_share proc ~offset:0. ~deadline:4.)
+
+let test_fraction_closed_forms () =
+  checkf "alpha=2, p=10" 0.1 (Fraction.power_partial_fraction ~alpha:2. ~p:10);
+  checkf "alpha=3, p=4" 0.0625 (Fraction.power_partial_fraction ~alpha:3. ~p:4);
+  checkf "alpha=1 keeps all" 1. (Fraction.power_partial_fraction ~alpha:1. ~p:100);
+  checkf "remaining complement" 0.9 (Fraction.power_remaining_fraction ~alpha:2. ~p:10)
+
+let test_fraction_measured_equal_split () =
+  (* Equal split of N into p parts does exactly p^(1-alpha) of the work. *)
+  let p = 8 and total = 200. in
+  let allocation = Nonlinear.homogeneous_allocation ~p ~total in
+  checkf "measured matches closed form" ~eps:1e-12
+    (Fraction.power_partial_fraction ~alpha:2. ~p)
+    (Fraction.done_fraction (Cost_model.Power 2.) ~allocation ~total)
+
+let test_sorting_gap () =
+  checkf "log p / log n" (log 8. /. log 1024.) (Fraction.sorting_gap ~n:1024. ~p:8)
+
+let test_no_free_lunch_vanishes () =
+  (* The §2 claim: the useful fraction tends to 0 as p grows. *)
+  let f p = Fraction.power_partial_fraction ~alpha:2. ~p in
+  checkb "decreasing" true (f 10 > f 100 && f 100 > f 1000);
+  checkb "vanishing" true (f 100_000 < 1e-4)
+
+let qcheck_equal_finish =
+  QCheck.Test.make ~name:"nonlinear solver: equal finish on random platforms" ~count:50
+    QCheck.(
+      pair
+        (list_of_size Gen.(int_range 1 10) (float_range 0.2 20.))
+        (float_range 1. 3.))
+    (fun (speeds, alpha) ->
+      let star = Star.of_speeds speeds in
+      let cost = Cost_model.of_alpha alpha in
+      let allocation, makespan =
+        Nonlinear.equal_finish_allocation Schedule.Parallel star cost ~total:10.
+      in
+      let ok = ref (Float.abs (Numerics.Kahan.sum allocation -. 10.) < 1e-6) in
+      Array.iteri
+        (fun i n ->
+          let proc = Star.worker star i in
+          let finish =
+            Processor.transfer_time proc ~data:n
+            +. Processor.compute_time proc ~work:(Cost_model.work cost n)
+          in
+          if Float.abs (finish -. makespan) > 1e-4 *. makespan then ok := false)
+        allocation;
+      !ok)
+
+let qcheck_fraction_bounds =
+  QCheck.Test.make ~name:"done_fraction in (0,1] for any split" ~count:200
+    QCheck.(
+      pair (array_of_size Gen.(int_range 1 20) (float_range 0.01 10.)) (float_range 1. 4.))
+    (fun (parts, alpha) ->
+      let total = Numerics.Kahan.sum parts in
+      let f = Fraction.done_fraction (Cost_model.of_alpha alpha) ~allocation:parts ~total in
+      f > 0. && f <= 1. +. 1e-9)
+
+let suites =
+  [
+    ( "nonlinear DLT",
+      [
+        Alcotest.test_case "worker share roundtrip" `Quick test_worker_share_roundtrip;
+        Alcotest.test_case "worker share zero budget" `Quick test_worker_share_zero_budget;
+        Alcotest.test_case "homogeneous equal split" `Quick test_homogeneous_equal_split;
+        Alcotest.test_case "homogeneous makespan" `Quick test_homogeneous_makespan_formula;
+        Alcotest.test_case "allocations sum" `Quick test_equal_finish_sums;
+        Alcotest.test_case "equal finish (parallel)" `Quick test_equal_finish_times_parallel;
+        Alcotest.test_case "equal finish (one-port)" `Quick test_equal_finish_times_one_port;
+        Alcotest.test_case "monotone in speed" `Quick test_faster_workers_get_more;
+        Alcotest.test_case "alpha=1 is linear" `Quick test_alpha_one_matches_linear;
+        Alcotest.test_case "schedules validate" `Quick test_schedule_valid;
+        Alcotest.test_case "quadratic zero budget" `Quick test_quadratic_share_zero_budget;
+        QCheck_alcotest.to_alcotest qcheck_equal_finish;
+        QCheck_alcotest.to_alcotest qcheck_quadratic_closed_form;
+      ] );
+    ( "no free lunch (fractions)",
+      [
+        Alcotest.test_case "closed forms" `Quick test_fraction_closed_forms;
+        Alcotest.test_case "measured equal split" `Quick test_fraction_measured_equal_split;
+        Alcotest.test_case "sorting gap" `Quick test_sorting_gap;
+        Alcotest.test_case "fraction vanishes with p" `Quick test_no_free_lunch_vanishes;
+        QCheck_alcotest.to_alcotest qcheck_fraction_bounds;
+      ] );
+  ]

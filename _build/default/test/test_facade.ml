@@ -1,0 +1,49 @@
+(* The public Core façade. *)
+
+let checkb = Alcotest.(check bool)
+
+let test_version () = checkb "semver-ish" true (String.length Core.version >= 5)
+
+let test_partition_for_speeds () =
+  let layout = Core.partition_for_speeds [| 1.; 2.; 3. |] in
+  match Core.Layout.validate layout with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg
+
+let test_partition_for_speeds_proportional () =
+  let layout = Core.partition_for_speeds [| 1.; 3. |] in
+  let areas = Core.Layout.areas layout in
+  (* Areas follow platform (ascending speed) order: 1/4 then 3/4. *)
+  Alcotest.(check (float 1e-9)) "slow share" 0.25 areas.(0);
+  Alcotest.(check (float 1e-9)) "fast share" 0.75 areas.(1)
+
+let test_communication_ratios () =
+  let star = Core.Star.of_speeds [ 1.; 5.; 10. ] in
+  let r = Core.communication_ratios star in
+  checkb "het sane" true (r.Core.Strategies.het >= 1. && r.Core.Strategies.het < 1.75)
+
+let test_no_free_lunch () =
+  Alcotest.(check (float 1e-12)) "alpha=2 p=10" 0.9 (Core.no_free_lunch ~alpha:2. ~p:10);
+  checkb "monotone in p" true
+    (Core.no_free_lunch ~alpha:2. ~p:100 > Core.no_free_lunch ~alpha:2. ~p:10)
+
+let test_aliases_usable () =
+  (* A user-level end-to-end flow straight through the façade. *)
+  let rng = Core.Rng.create ~seed:1 () in
+  let star = Core.Profiles.generate rng ~p:4 Core.Profiles.paper_uniform in
+  let allocation = Core.Linear_dlt.parallel_allocation star ~total:10. in
+  checkb "façade flow works" true
+    (Float.abs (Numerics.Kahan.sum allocation -. 10.) < 1e-9)
+
+let suites =
+  [
+    ( "core façade",
+      [
+        Alcotest.test_case "version" `Quick test_version;
+        Alcotest.test_case "partition_for_speeds" `Quick test_partition_for_speeds;
+        Alcotest.test_case "proportional areas" `Quick test_partition_for_speeds_proportional;
+        Alcotest.test_case "communication_ratios" `Quick test_communication_ratios;
+        Alcotest.test_case "no_free_lunch" `Quick test_no_free_lunch;
+        Alcotest.test_case "aliases usable" `Quick test_aliases_usable;
+      ] );
+  ]

@@ -1,0 +1,179 @@
+(* The max-min fair fluid network model and its use in the shared-
+   backbone strategy evaluation. *)
+
+module Fluid = Des.Fluid
+module Timed = Partition.Timed
+module Star = Platform.Star
+module Rng = Numerics.Rng
+
+let checkb = Alcotest.(check bool)
+let checkf msg ?(eps = 1e-9) expected actual =
+  Alcotest.(check (float eps)) msg expected actual
+
+let flow = Fluid.make_flow
+
+let rate rates id = List.assoc id rates
+
+let test_single_flow_full_capacity () =
+  let links = [| { Fluid.capacity = 5. } |] in
+  let rates = Fluid.max_min_rates ~links ~active:[ flow ~id:0 ~size:10. ~links:[ 0 ] () ] in
+  checkf "gets the link" 5. (rate rates 0)
+
+let test_equal_sharing () =
+  let links = [| { Fluid.capacity = 6. } |] in
+  let active = List.init 3 (fun id -> flow ~id ~size:1. ~links:[ 0 ] ()) in
+  let rates = Fluid.max_min_rates ~links ~active in
+  List.iter (fun (_, r) -> checkf "fair third" 2. r) rates
+
+let test_classic_max_min () =
+  (* Textbook instance: link A (cap 1) carries f0 and f1; link B (cap
+     10) carries f1 and f2.  Max-min: f0 = f1 = 0.5 (A bottleneck),
+     then f2 grows to 9.5 on B. *)
+  let links = [| { Fluid.capacity = 1. }; { Fluid.capacity = 10. } |] in
+  let active =
+    [
+      flow ~id:0 ~size:1. ~links:[ 0 ] ();
+      flow ~id:1 ~size:1. ~links:[ 0; 1 ] ();
+      flow ~id:2 ~size:1. ~links:[ 1 ] ();
+    ]
+  in
+  let rates = Fluid.max_min_rates ~links ~active in
+  checkf "f0" 0.5 (rate rates 0);
+  checkf "f1" 0.5 (rate rates 1);
+  checkf "f2" 9.5 (rate rates 2)
+
+let test_run_two_phases () =
+  (* Two equal flows on one cap-2 link: both at rate 1 until the small
+     one (size 1) ends at t=1; the big one (size 3) then runs at rate 2:
+     remaining 2 -> finishes at t=2. *)
+  let links = [| { Fluid.capacity = 2. } |] in
+  let flows =
+    [ flow ~id:0 ~size:1. ~links:[ 0 ] (); flow ~id:1 ~size:3. ~links:[ 0 ] () ]
+  in
+  match Fluid.run ~links ~flows with
+  | [ first; second ] ->
+      Alcotest.(check int) "small first" 0 first.Fluid.flow;
+      checkf "t=1" 1. first.Fluid.finish;
+      checkf "t=2" 2. second.Fluid.finish
+  | _ -> Alcotest.fail "expected two completions"
+
+let test_run_arrival () =
+  (* One flow from t=0 (size 4, cap 2 alone).  A second (size 1)
+     arrives at t=1: both run at rate 1; the newcomer ends at t=2, by
+     when the first has 1 unit left and speeds back up to rate 2,
+     finishing at t=2.5. *)
+  let links = [| { Fluid.capacity = 2. } |] in
+  let flows =
+    [ flow ~id:0 ~size:4. ~links:[ 0 ] (); flow ~id:1 ~size:1. ~links:[ 0 ] ~start:1. () ]
+  in
+  match Fluid.run ~links ~flows with
+  | [ a; b ] ->
+      Alcotest.(check int) "late flow first" 1 a.Fluid.flow;
+      checkf "t=2" 2. a.Fluid.finish;
+      checkf "t=2.5" 2.5 b.Fluid.finish
+  | _ -> Alcotest.fail "expected two completions"
+
+let test_idle_gap () =
+  let links = [| { Fluid.capacity = 1. } |] in
+  let flows = [ flow ~id:0 ~size:1. ~links:[ 0 ] ~start:5. () ] in
+  checkf "starts after gap" 6. (Fluid.makespan ~links ~flows)
+
+let test_validation () =
+  checkb "bad size" true
+    (try
+       ignore (flow ~id:0 ~size:0. ~links:[ 0 ] ());
+       false
+     with Invalid_argument _ -> true);
+  let links = [| { Fluid.capacity = 1. } |] in
+  checkb "bad link index" true
+    (try
+       ignore (Fluid.run ~links ~flows:[ flow ~id:0 ~size:1. ~links:[ 3 ] () ]);
+       false
+     with Invalid_argument _ -> true);
+  checkb "duplicate ids" true
+    (try
+       ignore
+         (Fluid.run ~links
+            ~flows:[ flow ~id:0 ~size:1. ~links:[ 0 ] (); flow ~id:0 ~size:1. ~links:[ 0 ] () ]);
+       false
+     with Invalid_argument _ -> true)
+
+let qcheck_conservation =
+  (* Work conservation on a single shared link: total bytes / capacity
+     = makespan when flows keep the link busy from t=0. *)
+  QCheck.Test.make ~name:"fluid: single busy link is work-conserving" ~count:100
+    QCheck.(list_of_size Gen.(int_range 1 10) (float_range 0.1 10.))
+    (fun sizes ->
+      QCheck.assume (sizes <> []);
+      let links = [| { Des.Fluid.capacity = 2. } |] in
+      let flows = List.mapi (fun id size -> flow ~id ~size ~links:[ 0 ] ()) sizes in
+      let expected = List.fold_left ( +. ) 0. sizes /. 2. in
+      Float.abs (Fluid.makespan ~links ~flows -. expected) < 1e-6)
+
+let qcheck_rates_feasible =
+  QCheck.Test.make ~name:"fluid: max-min rates never exceed capacities" ~count:100
+    QCheck.(
+      pair
+        (list_of_size Gen.(int_range 1 8) (float_range 0.5 8.))
+        (list_of_size Gen.(int_range 1 12) (pair (int_range 0 7) (int_range 0 7))))
+    (fun (capacities, routes) ->
+      QCheck.assume (capacities <> [] && routes <> []);
+      let nlinks = List.length capacities in
+      let links =
+        Array.of_list (List.map (fun c -> { Des.Fluid.capacity = c }) capacities)
+      in
+      let active =
+        List.mapi
+          (fun id (a, b) ->
+            let route = List.sort_uniq compare [ a mod nlinks; b mod nlinks ] in
+            flow ~id ~size:1. ~links:route ())
+          routes
+      in
+      let rates = Fluid.max_min_rates ~links ~active in
+      let usage = Array.make nlinks 0. in
+      List.iter
+        (fun f ->
+          List.iter (fun l -> usage.(l) <- usage.(l) +. rate rates f.Fluid.id) f.Fluid.links)
+        active;
+      Array.for_all2 (fun used l -> used <= l.Fluid.capacity +. 1e-6) usage links)
+
+let test_backbone_converges_to_independent () =
+  let rng = Rng.create ~seed:64 () in
+  let star = Platform.Profiles.generate ~bandwidth:2. rng ~p:8 Platform.Profiles.paper_uniform in
+  let independent = Timed.het star ~n:500. in
+  let shared = Timed.het_shared_backbone star ~n:500. ~backbone:1e9 in
+  checkf "ample backbone = independent links" ~eps:1e-6 independent.Timed.makespan
+    shared.Timed.makespan
+
+let test_backbone_contention_slows () =
+  let rng = Rng.create ~seed:65 () in
+  let star = Platform.Profiles.generate ~bandwidth:2. rng ~p:8 Platform.Profiles.paper_uniform in
+  let independent = Timed.het star ~n:500. in
+  let shared = Timed.het_shared_backbone star ~n:500. ~backbone:0.5 in
+  checkb "tight backbone slower" true
+    (shared.Timed.makespan > independent.Timed.makespan);
+  checkb "comm bound respected" true
+    (shared.Timed.comm_makespan
+    >= (500. *. Partition.Lower_bound.peri_sum ~areas:(Star.relative_speeds star) /. 0.5)
+       -. 1e-6)
+
+let suites =
+  [
+    ( "fluid network",
+      [
+        Alcotest.test_case "single flow" `Quick test_single_flow_full_capacity;
+        Alcotest.test_case "equal sharing" `Quick test_equal_sharing;
+        Alcotest.test_case "classic max-min" `Quick test_classic_max_min;
+        Alcotest.test_case "two-phase run" `Quick test_run_two_phases;
+        Alcotest.test_case "dynamic arrival" `Quick test_run_arrival;
+        Alcotest.test_case "idle gap" `Quick test_idle_gap;
+        Alcotest.test_case "validation" `Quick test_validation;
+        QCheck_alcotest.to_alcotest qcheck_conservation;
+        QCheck_alcotest.to_alcotest qcheck_rates_feasible;
+      ] );
+    ( "shared backbone",
+      [
+        Alcotest.test_case "ample backbone" `Quick test_backbone_converges_to_independent;
+        Alcotest.test_case "contention slows" `Quick test_backbone_contention_slows;
+      ] );
+  ]

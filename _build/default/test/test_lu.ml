@@ -1,0 +1,126 @@
+(* Blocked LU factorization. *)
+
+module Lu = Linalg.Lu
+module Matrix = Linalg.Matrix
+module Rng = Numerics.Rng
+
+let checkb = Alcotest.(check bool)
+let checkf msg ?(eps = 1e-9) expected actual =
+  Alcotest.(check (float eps)) msg expected actual
+
+let well_conditioned rng n =
+  (* Random matrix with boosted diagonal: comfortably non-singular. *)
+  Matrix.init ~rows:n ~cols:n (fun i j ->
+      Rng.uniform rng (-1.) 1. +. (if i = j then 4. else 0.))
+
+let test_reconstruct () =
+  let rng = Rng.create ~seed:141 () in
+  let a = well_conditioned rng 20 in
+  let f = Lu.factorize ~block:4 a in
+  checkb "P^-1 L U = A" true (Matrix.approx_equal ~tol:1e-8 (Lu.reconstruct f) a)
+
+let test_block_sizes_agree () =
+  let rng = Rng.create ~seed:142 () in
+  let a = well_conditioned rng 17 in
+  let reference = Lu.reconstruct (Lu.factorize ~block:1 a) in
+  List.iter
+    (fun block ->
+      checkb
+        (Printf.sprintf "block %d" block)
+        true
+        (Matrix.approx_equal ~tol:1e-8 (Lu.reconstruct (Lu.factorize ~block a)) reference))
+    [ 2; 5; 17; 64 ]
+
+let test_solve () =
+  let rng = Rng.create ~seed:143 () in
+  let n = 15 in
+  let a = well_conditioned rng n in
+  let x_true = Array.init n (fun i -> float_of_int (i + 1)) in
+  (* rhs = A·x. *)
+  let rhs =
+    Array.init n (fun i ->
+        let acc = ref 0. in
+        for j = 0 to n - 1 do
+          acc := !acc +. (Matrix.get a i j *. x_true.(j))
+        done;
+        !acc)
+  in
+  let x = Lu.solve (Lu.factorize a) rhs in
+  Array.iteri (fun i v -> checkf "solution" ~eps:1e-7 x_true.(i) v) x
+
+let test_determinant_identity () =
+  checkf "det I = 1" 1. (Lu.determinant (Lu.factorize (Matrix.identity 6)))
+
+let test_determinant_known () =
+  (* [[2 0][0 3]] has det 6; swapping rows flips the sign. *)
+  let a = Matrix.init ~rows:2 ~cols:2 (fun i j ->
+      match (i, j) with 0, 0 -> 0. | 0, 1 -> 3. | 1, 0 -> 2. | _ -> 0.)
+  in
+  checkf "det with pivot swap" ~eps:1e-12 (-6.) (Lu.determinant (Lu.factorize a))
+
+let test_pivoting_needed () =
+  (* Zero leading entry forces a pivot swap; factorization must still
+     succeed. *)
+  let a = Matrix.init ~rows:3 ~cols:3 (fun i j ->
+      match (i, j) with
+      | 0, 0 -> 0. | 0, 1 -> 1. | 0, 2 -> 2.
+      | 1, 0 -> 3. | 1, 1 -> 1. | 1, 2 -> 0.
+      | _, 0 -> 1. | _, 1 -> 1. | _, _ -> 1.)
+  in
+  let f = Lu.factorize a in
+  checkb "reconstructs" true (Matrix.approx_equal ~tol:1e-9 (Lu.reconstruct f) a)
+
+let test_singular_rejected () =
+  let a = Matrix.init ~rows:3 ~cols:3 (fun i _ -> float_of_int i) in
+  checkb "singular detected" true
+    (try
+       ignore (Lu.factorize a);
+       false
+     with Failure _ -> true)
+
+let test_flops () =
+  checkf "2n^3/3" (2. /. 3. *. 1e9) (Lu.flop_count ~n:1000)
+
+let qcheck_lu_roundtrip =
+  QCheck.Test.make ~name:"LU reconstructs random well-conditioned matrices" ~count:40
+    QCheck.(pair (int_range 1 24) (int_range 1 8))
+    (fun (n, block) ->
+      let rng = Rng.create ~seed:(n + (block * 100)) () in
+      let a = well_conditioned rng n in
+      let f = Lu.factorize ~block a in
+      Matrix.approx_equal ~tol:1e-7 (Lu.reconstruct f) a)
+
+let qcheck_solve_residual =
+  QCheck.Test.make ~name:"LU solve has tiny residual" ~count:40
+    QCheck.(int_range 1 20)
+    (fun n ->
+      let rng = Rng.create ~seed:n () in
+      let a = well_conditioned rng n in
+      let rhs = Array.init n (fun _ -> Rng.uniform rng (-5.) 5.) in
+      let x = Lu.solve (Lu.factorize a) rhs in
+      let residual = ref 0. in
+      for i = 0 to n - 1 do
+        let acc = ref 0. in
+        for j = 0 to n - 1 do
+          acc := !acc +. (Matrix.get a i j *. x.(j))
+        done;
+        residual := Float.max !residual (Float.abs (!acc -. rhs.(i)))
+      done;
+      !residual < 1e-7)
+
+let suites =
+  [
+    ( "LU factorization",
+      [
+        Alcotest.test_case "reconstruct" `Quick test_reconstruct;
+        Alcotest.test_case "block sizes agree" `Quick test_block_sizes_agree;
+        Alcotest.test_case "solve" `Quick test_solve;
+        Alcotest.test_case "det identity" `Quick test_determinant_identity;
+        Alcotest.test_case "det with swap" `Quick test_determinant_known;
+        Alcotest.test_case "pivoting" `Quick test_pivoting_needed;
+        Alcotest.test_case "singular rejected" `Quick test_singular_rejected;
+        Alcotest.test_case "flop count" `Quick test_flops;
+        QCheck_alcotest.to_alcotest qcheck_lu_roundtrip;
+        QCheck_alcotest.to_alcotest qcheck_solve_residual;
+      ] );
+  ]

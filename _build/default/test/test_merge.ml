@@ -1,0 +1,63 @@
+(* K-way merge. *)
+
+module Merge = Sortlib.Merge
+module Rng = Numerics.Rng
+
+let checkb = Alcotest.(check bool)
+
+let test_two_way () =
+  Alcotest.(check (array (float 0.))) "interleaved" [| 1.; 2.; 3.; 4.; 5.; 6. |]
+    (Merge.two_way [| 1.; 3.; 5. |] [| 2.; 4.; 6. |]);
+  Alcotest.(check (array (float 0.))) "one empty" [| 1.; 2. |]
+    (Merge.two_way [||] [| 1.; 2. |]);
+  Alcotest.(check (array (float 0.))) "duplicates" [| 1.; 1.; 1. |]
+    (Merge.two_way [| 1.; 1. |] [| 1. |])
+
+let test_k_way_basic () =
+  Alcotest.(check (array (float 0.))) "three runs" [| 0.; 1.; 2.; 3.; 4.; 5. |]
+    (Merge.k_way [ [| 0.; 3. |]; [| 1.; 4. |]; [| 2.; 5. |] ])
+
+let test_k_way_edges () =
+  Alcotest.(check (array (float 0.))) "no runs" [||] (Merge.k_way []);
+  Alcotest.(check (array (float 0.))) "all empty" [||] (Merge.k_way [ [||]; [||] ]);
+  Alcotest.(check (array (float 0.))) "single run" [| 1.; 2. |] (Merge.k_way [ [| 1.; 2. |] ])
+
+let test_k_way_copy_semantics () =
+  let run = [| 1.; 2. |] in
+  let out = Merge.k_way [ run ] in
+  out.(0) <- 99.;
+  Alcotest.(check (float 0.)) "input untouched" 1. run.(0)
+
+let qcheck_k_way =
+  QCheck.Test.make ~name:"k-way merge equals sort of concatenation" ~count:200
+    QCheck.(
+      list_of_size Gen.(int_range 0 8)
+        (array_of_size Gen.(int_range 0 50) (float_range (-100.) 100.)))
+    (fun raw ->
+      let runs = List.map (fun r -> Array.sort Float.compare r; r) raw in
+      let merged = Merge.k_way runs in
+      let reference = Array.concat runs in
+      Array.sort Float.compare reference;
+      merged = reference)
+
+let qcheck_k_way_stays_sorted =
+  QCheck.Test.make ~name:"k-way output is sorted" ~count:200
+    QCheck.(
+      list_of_size Gen.(int_range 1 6)
+        (array_of_size Gen.(int_range 1 100) (float_range 0. 1.)))
+    (fun raw ->
+      let runs = List.map (fun r -> Array.sort Float.compare r; r) raw in
+      Merge.is_sorted (Merge.k_way runs))
+
+let suites =
+  [
+    ( "k-way merge",
+      [
+        Alcotest.test_case "two-way" `Quick test_two_way;
+        Alcotest.test_case "k-way basic" `Quick test_k_way_basic;
+        Alcotest.test_case "edges" `Quick test_k_way_edges;
+        Alcotest.test_case "copy semantics" `Quick test_k_way_copy_semantics;
+        QCheck_alcotest.to_alcotest qcheck_k_way;
+        QCheck_alcotest.to_alcotest qcheck_k_way_stays_sorted;
+      ] );
+  ]

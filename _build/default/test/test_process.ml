@@ -1,0 +1,165 @@
+(* Effect-handler process layer over the DES engine. *)
+
+module Process = Des.Process
+
+let checkb = Alcotest.(check bool)
+let checkf msg ?(eps = 1e-9) expected actual =
+  Alcotest.(check (float eps)) msg expected actual
+
+let test_single_process_waits () =
+  let world = Process.create () in
+  let log = ref [] in
+  Process.spawn world (fun () ->
+      log := ("start", Process.now world) :: !log;
+      Process.wait 3.;
+      log := ("middle", Process.now world) :: !log;
+      Process.wait 2.;
+      log := ("end", Process.now world) :: !log);
+  Process.run world;
+  Alcotest.(check (list (pair string (float 0.))))
+    "timeline"
+    [ ("start", 0.); ("middle", 3.); ("end", 5.) ]
+    (List.rev !log)
+
+let test_interleaving () =
+  let world = Process.create () in
+  let log = ref [] in
+  let proc name d1 d2 =
+    Process.spawn world (fun () ->
+        Process.wait d1;
+        log := (name, Process.now world) :: !log;
+        Process.wait d2;
+        log := (name, Process.now world) :: !log)
+  in
+  proc "a" 1. 4.;
+  proc "b" 2. 1.;
+  Process.run world;
+  Alcotest.(check (list (pair string (float 0.))))
+    "interleaved"
+    [ ("a", 1.); ("b", 2.); ("b", 3.); ("a", 5.) ]
+    (List.rev !log)
+
+let test_resource_mutual_exclusion () =
+  (* Three jobs of 2 time units over a capacity-1 resource: strictly
+     serialized, ending at 2, 4, 6. *)
+  let world = Process.create () in
+  let server = Process.resource world ~capacity:1 in
+  let ends = ref [] in
+  for _ = 1 to 3 do
+    Process.spawn world (fun () ->
+        Process.with_resource server (fun () -> Process.wait 2.);
+        ends := Process.now world :: !ends)
+  done;
+  Process.run world;
+  Alcotest.(check (list (float 1e-9))) "serialized" [ 2.; 4.; 6. ] (List.rev !ends)
+
+let test_resource_capacity_two () =
+  let world = Process.create () in
+  let server = Process.resource world ~capacity:2 in
+  let ends = ref [] in
+  for _ = 1 to 4 do
+    Process.spawn world (fun () ->
+        Process.with_resource server (fun () -> Process.wait 5.);
+        ends := Process.now world :: !ends)
+  done;
+  Process.run world;
+  Alcotest.(check (list (float 1e-9))) "two at a time" [ 5.; 5.; 10.; 10. ] (List.rev !ends)
+
+let test_fifo_grant_order () =
+  let world = Process.create () in
+  let server = Process.resource world ~capacity:1 in
+  let order = ref [] in
+  List.iter
+    (fun (name, arrival) ->
+      Process.spawn world (fun () ->
+          Process.wait arrival;
+          Process.with_resource server (fun () ->
+              order := name :: !order;
+              Process.wait 10.)))
+    [ ("first", 1.); ("second", 2.); ("third", 3.) ];
+  Process.run world;
+  Alcotest.(check (list string)) "FIFO waiters" [ "first"; "second"; "third" ]
+    (List.rev !order)
+
+let test_nested_spawn () =
+  let world = Process.create () in
+  let log = ref [] in
+  Process.spawn world (fun () ->
+      Process.wait 1.;
+      Process.spawn world (fun () ->
+          Process.wait 2.;
+          log := ("child", Process.now world) :: !log);
+      Process.wait 0.5;
+      log := ("parent", Process.now world) :: !log);
+  Process.run world;
+  Alcotest.(check (list (pair string (float 0.))))
+    "nested"
+    [ ("parent", 1.5); ("child", 3.) ]
+    (List.rev !log)
+
+let test_outside_process_rejected () =
+  checkb "wait outside" true
+    (try
+       Process.wait 1.;
+       false
+     with Process.Outside_process -> true);
+  let world = Process.create () in
+  let server = Process.resource world ~capacity:1 in
+  checkb "acquire outside" true
+    (try
+       Process.acquire server;
+       false
+     with Process.Outside_process -> true)
+
+let test_release_over_capacity () =
+  let world = Process.create () in
+  let server = Process.resource world ~capacity:1 in
+  checkb "double release rejected" true
+    (try
+       Process.release server;
+       false
+     with Invalid_argument _ -> true)
+
+let test_master_worker_in_process_style () =
+  (* The one-port master-worker pattern written as processes: the
+     master's port is a capacity-1 resource; workers fetch then
+     compute.  With the shares of the one-port closed form, every
+     worker must finish at the analytic makespan. *)
+  let star = Platform.Star.of_speeds ~bandwidth:2. [ 1.; 2.; 4. ] in
+  let total = 60. in
+  let allocation = Dlt.Linear.one_port_allocation star ~total in
+  let order = Dlt.Linear.one_port_order star in
+  let expected = Dlt.Linear.one_port_makespan star ~total in
+  let world = Process.create () in
+  let port = Process.resource world ~capacity:1 in
+  let finishes = Array.make (Platform.Star.size star) 0. in
+  (* Spawn in activation order so the FIFO port grants match the
+     closed form. *)
+  Array.iter
+    (fun i ->
+      let proc = Platform.Star.worker star i in
+      Process.spawn world (fun () ->
+          Process.with_resource port (fun () ->
+              Process.wait (Platform.Processor.transfer_time proc ~data:allocation.(i)));
+          Process.wait (Platform.Processor.compute_time proc ~work:allocation.(i));
+          finishes.(i) <- Process.now world))
+    order;
+  Process.run world;
+  Array.iter (fun f -> checkf "equal finish at makespan" ~eps:1e-6 expected f) finishes
+
+let suites =
+  [
+    ( "process simulation (effects)",
+      [
+        Alcotest.test_case "single process" `Quick test_single_process_waits;
+        Alcotest.test_case "interleaving" `Quick test_interleaving;
+        Alcotest.test_case "mutual exclusion" `Quick test_resource_mutual_exclusion;
+        Alcotest.test_case "capacity 2" `Quick test_resource_capacity_two;
+        Alcotest.test_case "FIFO grants" `Quick test_fifo_grant_order;
+        Alcotest.test_case "nested spawn" `Quick test_nested_spawn;
+        Alcotest.test_case "outside process" `Quick test_outside_process_rejected;
+        Alcotest.test_case "release over capacity" `Quick test_release_over_capacity;
+        Alcotest.test_case "master-worker equals closed form" `Quick
+          test_master_worker_in_process_style;
+      ] );
+  ]

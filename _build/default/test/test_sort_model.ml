@@ -1,0 +1,103 @@
+(* The parallel timing model of §3. *)
+
+module Parallel_model = Sortlib.Parallel_model
+module Star = Platform.Star
+
+let checkb = Alcotest.(check bool)
+let checkf msg ?(eps = 1e-9) expected actual =
+  Alcotest.(check (float eps)) msg expected actual
+
+let log2 x = log x /. log 2.
+
+let test_phase_costs () =
+  let star = Star.of_speeds [ 1.; 1.; 1.; 1. ] in
+  let timing =
+    Parallel_model.evaluate ~with_communication:false star
+      ~bucket_sizes:[| 250; 250; 250; 250 |] ~s:16
+  in
+  checkf "phase1 = sp·log2(sp)" (64. *. log2 64.) timing.Parallel_model.phase1;
+  checkf "phase2 = N·log2 p" (1000. *. 2.) timing.Parallel_model.phase2;
+  checkf "phase3 = (N/p)·log2(N/p)" (250. *. log2 250.) timing.Parallel_model.phase3
+
+let test_phase3_uses_slowest_loaded_worker () =
+  let star = Star.of_speeds [ 1.; 10. ] in
+  (* Platform order is slowest first; give the slow worker the big
+     bucket so it dominates phase 3. *)
+  let timing =
+    Parallel_model.evaluate ~with_communication:false star ~bucket_sizes:[| 1000; 1000 |]
+      ~s:4
+  in
+  checkf "slow worker dominates" (1000. *. log2 1000.) timing.Parallel_model.phase3
+
+let test_divisible_fraction_matches_formula () =
+  (* Equal buckets: fraction = 1 - log p / log N exactly. *)
+  let star = Star.of_speeds [ 1.; 1.; 1.; 1. ] in
+  let timing =
+    Parallel_model.evaluate star ~bucket_sizes:[| 256; 256; 256; 256 |] ~s:8
+  in
+  checkf "1 - log p/log N" ~eps:1e-9
+    (1. -. (log 4. /. log 1024.))
+    timing.Parallel_model.divisible_fraction
+
+let test_speedup_definition () =
+  let star = Star.of_speeds [ 1.; 1. ] in
+  let timing = Parallel_model.evaluate star ~bucket_sizes:[| 100; 100 |] ~s:2 in
+  checkf "speedup = seq/total"
+    (timing.Parallel_model.sequential /. timing.Parallel_model.total)
+    timing.Parallel_model.speedup
+
+let test_speedup_grows_with_n () =
+  (* §3's optimality is asymptotic: the master preprocessing washes out
+     as N grows, so the speedup at fixed p must improve with N. *)
+  let star = Star.of_speeds (List.init 8 (fun _ -> 1.)) in
+  let speedup n =
+    let sizes = Array.make 8 (n / 8) in
+    (Parallel_model.evaluate ~with_communication:false star ~bucket_sizes:sizes ~s:64)
+      .Parallel_model.speedup
+  in
+  checkb "speedup improves with N" true (speedup 80_000 > speedup 8_000)
+
+let test_bucket_count_checked () =
+  let star = Star.of_speeds [ 1.; 1. ] in
+  Alcotest.check_raises "bucket arity"
+    (Invalid_argument "Parallel_model.evaluate: one bucket per worker required") (fun () ->
+      ignore (Parallel_model.evaluate star ~bucket_sizes:[| 10 |] ~s:2))
+
+let test_communication_term () =
+  let star = Star.of_speeds ~bandwidth:0.5 [ 1.; 1. ] in
+  let with_comm = Parallel_model.evaluate star ~bucket_sizes:[| 100; 100 |] ~s:2 in
+  let without =
+    Parallel_model.evaluate ~with_communication:false star ~bucket_sizes:[| 100; 100 |]
+      ~s:2
+  in
+  checkf "comm term = data·c" 200. with_comm.Parallel_model.communication;
+  checkf "no comm when disabled" 0. without.Parallel_model.communication;
+  checkb "total includes comm" true
+    (with_comm.Parallel_model.total > without.Parallel_model.total)
+
+let qcheck_fraction_increases_with_n =
+  QCheck.Test.make ~name:"divisible fraction increases with N at fixed p" ~count:50
+    QCheck.(int_range 2 10)
+    (fun p ->
+      let star = Star.of_speeds (List.init p (fun _ -> 1.)) in
+      let fraction n =
+        let sizes = Array.make p (n / p) in
+        (Parallel_model.evaluate star ~bucket_sizes:sizes ~s:16)
+          .Parallel_model.divisible_fraction
+      in
+      fraction 100_000 > fraction 1_000)
+
+let suites =
+  [
+    ( "sort timing model",
+      [
+        Alcotest.test_case "phase costs" `Quick test_phase_costs;
+        Alcotest.test_case "phase3 slowest loaded" `Quick test_phase3_uses_slowest_loaded_worker;
+        Alcotest.test_case "divisible fraction" `Quick test_divisible_fraction_matches_formula;
+        Alcotest.test_case "speedup definition" `Quick test_speedup_definition;
+        Alcotest.test_case "speedup grows with N" `Quick test_speedup_grows_with_n;
+        Alcotest.test_case "bucket count checked" `Quick test_bucket_count_checked;
+        Alcotest.test_case "communication term" `Quick test_communication_term;
+        QCheck_alcotest.to_alcotest qcheck_fraction_increases_with_n;
+      ] );
+  ]

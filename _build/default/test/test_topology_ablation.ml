@@ -1,0 +1,23 @@
+(* The hierarchy ablation: uplink bandwidth vs stranded compute. *)
+
+let checkb = Alcotest.(check bool)
+
+let test_topology_rows () =
+  let rows = Experiments.Ablations.topology ~uplinks:[ 16.; 0.25 ] () in
+  match rows with
+  | [ ample; thin ] ->
+      checkb "ample uplink strands little" true
+        (ample.Experiments.Ablations.loss < 0.2);
+      checkb "thin uplink strands most" true (thin.Experiments.Ablations.loss > 0.5);
+      checkb "loss monotone" true
+        (thin.Experiments.Ablations.loss > ample.Experiments.Ablations.loss);
+      checkb "ratios positive" true
+        (ample.Experiments.Ablations.tree_vs_flat > 0.
+        && thin.Experiments.Ablations.tree_vs_flat > 0.)
+  | _ -> Alcotest.fail "expected two rows"
+
+let suites =
+  [
+    ( "topology ablation",
+      [ Alcotest.test_case "uplink sweep" `Quick test_topology_rows ] );
+  ]

@@ -1,0 +1,147 @@
+(* Cholesky and the Monte-Carlo workload. *)
+
+module Cholesky = Linalg.Cholesky
+module Matrix = Linalg.Matrix
+module Montecarlo = Workloads.Montecarlo
+module Rng = Numerics.Rng
+module Star = Platform.Star
+
+let checkb = Alcotest.(check bool)
+let checkf msg ?(eps = 1e-9) expected actual =
+  Alcotest.(check (float eps)) msg expected actual
+
+(* A·Aᵀ + n·I is symmetric positive definite. *)
+let spd rng n =
+  let a = Matrix.random rng ~rows:n ~cols:n in
+  Matrix.add (Matrix.mul a (Matrix.transpose a)) (Matrix.scale (float_of_int n) (Matrix.identity n))
+
+let test_cholesky_reconstruct () =
+  let rng = Rng.create ~seed:171 () in
+  let a = spd rng 20 in
+  let l = Cholesky.factorize ~block:4 a in
+  checkb "L Lt = A" true (Matrix.approx_equal ~tol:1e-8 (Cholesky.reconstruct l) a)
+
+let test_cholesky_lower_triangular () =
+  let rng = Rng.create ~seed:172 () in
+  let a = spd rng 9 in
+  let l = Cholesky.factorize a in
+  for i = 0 to 8 do
+    for j = i + 1 to 8 do
+      checkf "upper is zero" 0. (Matrix.get l i j)
+    done
+  done
+
+let test_cholesky_blocks_agree () =
+  let rng = Rng.create ~seed:173 () in
+  let a = spd rng 13 in
+  let reference = Cholesky.factorize ~block:1 a in
+  List.iter
+    (fun block ->
+      checkb
+        (Printf.sprintf "block %d" block)
+        true
+        (Matrix.approx_equal ~tol:1e-8 (Cholesky.factorize ~block a) reference))
+    [ 3; 13; 50 ]
+
+let test_cholesky_solve () =
+  let rng = Rng.create ~seed:174 () in
+  let n = 12 in
+  let a = spd rng n in
+  let x_true = Array.init n (fun i -> float_of_int i -. 3.) in
+  let rhs =
+    Array.init n (fun i ->
+        let acc = ref 0. in
+        for j = 0 to n - 1 do
+          acc := !acc +. (Matrix.get a i j *. x_true.(j))
+        done;
+        !acc)
+  in
+  let x = Cholesky.solve (Cholesky.factorize a) rhs in
+  Array.iteri (fun i v -> checkf "solution" ~eps:1e-7 x_true.(i) v) x
+
+let test_cholesky_log_det () =
+  (* det(c·I) = c^n. *)
+  let n = 5 and c = 4. in
+  let l = Cholesky.factorize (Matrix.scale c (Matrix.identity n)) in
+  checkf "log det" ~eps:1e-9 (float_of_int n *. log c) (Cholesky.log_determinant l)
+
+let test_cholesky_rejects_indefinite () =
+  let bad = Matrix.scale (-1.) (Matrix.identity 3) in
+  checkb "indefinite rejected" true
+    (try
+       ignore (Cholesky.factorize bad);
+       false
+     with Failure _ -> true)
+
+let test_cholesky_agrees_with_lu () =
+  let rng = Rng.create ~seed:175 () in
+  let a = spd rng 10 in
+  let chol = Cholesky.log_determinant (Cholesky.factorize a) in
+  let lu = Linalg.Lu.determinant (Linalg.Lu.factorize a) in
+  checkf "log det agrees with LU" ~eps:1e-6 chol (log lu)
+
+let qcheck_cholesky =
+  QCheck.Test.make ~name:"cholesky reconstructs random SPD matrices" ~count:30
+    QCheck.(int_range 1 20)
+    (fun n ->
+      let rng = Rng.create ~seed:n () in
+      let a = spd rng n in
+      Matrix.approx_equal ~tol:1e-7 (Cholesky.reconstruct (Cholesky.factorize ~block:4 a)) a)
+
+(* --- Monte Carlo --- *)
+
+let test_pi_estimate () =
+  let rng = Rng.create ~seed:176 () in
+  let e = Montecarlo.pi rng ~samples:200_000 in
+  checkb "close to pi" true (Float.abs (e.Montecarlo.value -. Float.pi) < 0.02);
+  checkb "within 4 sigma" true
+    (Float.abs (e.Montecarlo.value -. Float.pi) < 4. *. e.Montecarlo.std_error)
+
+let test_std_error_shrinks () =
+  let e n = (Montecarlo.pi (Rng.create ~seed:177 ()) ~samples:n).Montecarlo.std_error in
+  checkb "error ~ 1/sqrt(n)" true (e 100_000 < e 1_000 /. 5.)
+
+let test_distributed_pools_exactly () =
+  let rng = Rng.create ~seed:178 () in
+  let star = Star.of_speeds [ 1.; 2.; 5. ] in
+  let f x y = if (x *. x) +. (y *. y) < 1. then 4. else 0. in
+  let d = Montecarlo.distributed_estimate rng star ~f ~samples:100_000 in
+  Alcotest.(check int) "sample counts pool" 100_000
+    (Array.fold_left ( + ) 0 d.Montecarlo.per_worker);
+  checkb "estimate sane" true (Float.abs (d.Montecarlo.combined.Montecarlo.value -. Float.pi) < 0.05);
+  checkb "near-perfect efficiency" true (d.Montecarlo.efficiency > 0.95)
+
+let test_distributed_shares_follow_speeds () =
+  let rng = Rng.create ~seed:179 () in
+  let star = Star.of_speeds [ 1.; 4. ] in
+  let d = Montecarlo.distributed_estimate rng star ~f:(fun x _ -> x) ~samples:10_000 in
+  Alcotest.(check int) "fast worker 4x samples" 8_000 d.Montecarlo.per_worker.(1)
+
+let test_constant_function () =
+  let rng = Rng.create ~seed:180 () in
+  let e = Montecarlo.estimate rng ~f:(fun _ _ -> 7.) ~samples:100 in
+  checkf "exact for constants" 7. e.Montecarlo.value;
+  checkf "zero error" 0. e.Montecarlo.std_error
+
+let suites =
+  [
+    ( "cholesky",
+      [
+        Alcotest.test_case "reconstruct" `Quick test_cholesky_reconstruct;
+        Alcotest.test_case "lower triangular" `Quick test_cholesky_lower_triangular;
+        Alcotest.test_case "blocks agree" `Quick test_cholesky_blocks_agree;
+        Alcotest.test_case "solve" `Quick test_cholesky_solve;
+        Alcotest.test_case "log det" `Quick test_cholesky_log_det;
+        Alcotest.test_case "indefinite rejected" `Quick test_cholesky_rejects_indefinite;
+        Alcotest.test_case "agrees with LU" `Quick test_cholesky_agrees_with_lu;
+        QCheck_alcotest.to_alcotest qcheck_cholesky;
+      ] );
+    ( "monte carlo workload",
+      [
+        Alcotest.test_case "pi" `Quick test_pi_estimate;
+        Alcotest.test_case "error shrinks" `Quick test_std_error_shrinks;
+        Alcotest.test_case "distributed pools" `Quick test_distributed_pools_exactly;
+        Alcotest.test_case "shares follow speeds" `Quick test_distributed_shares_follow_speeds;
+        Alcotest.test_case "constant function" `Quick test_constant_function;
+      ] );
+  ]
