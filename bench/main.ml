@@ -7,12 +7,26 @@
       experiment of DESIGN.md (E1, E2, E3, Figures 4a-4c, and the
       affinity ablation).
 
-   Usage: main.exe [--quick]   (--quick cuts trial counts for CI) *)
+   Usage: main.exe [--quick]   (--quick cuts trial counts for CI)
+
+   In addition to the human-readable report, the harness writes
+   BENCH_results.json (kernel name -> ns/run, pool overhead, multicore
+   speedup, Fig. 4 domain-scaling) so the perf trajectory is tracked
+   across PRs. *)
+
+(* The raw ns clock from bechamel.monotonic_clock; aliased before the
+   opens because Toolkit shadows the module name. *)
+module Mclock = Monotonic_clock
 
 open Bechamel
 open Toolkit
 
 let quick = Array.exists (fun a -> a = "--quick") Sys.argv
+
+let elapsed_s f =
+  let t0 = Mclock.now () in
+  let result = f () in
+  (result, Int64.to_float (Int64.sub (Mclock.now ()) t0) /. 1e9)
 
 (* --- Part 1: Bechamel micro-benchmarks --------------------------------- *)
 
@@ -152,7 +166,112 @@ let report_multicore () =
   Printf.printf
     "\nMulticore sample sort (N=5e5, p=16, %d domains): %.3fs sequential, %.3fs parallel \
      (speedup %.2fx)\n%!"
-    domains seq par speedup
+    domains seq par speedup;
+  Json_out.Obj
+    [
+      ("domains", Json_out.Int domains);
+      ("sequential_s", Json_out.Float seq);
+      ("parallel_s", Json_out.Float par);
+      ("speedup", Json_out.Float speedup);
+    ]
+
+let report_pool_overhead () =
+  (* Tentpole check: submitting to the persistent pool must beat paying
+     a Domain.spawn/join round-trip per call. *)
+  let d = max 2 (min 8 (Core.Parallel.default_domains ())) in
+  let iters = if quick then 200 else 1000 in
+  let pool = Core.Pool.create ~domains:d () in
+  Core.Pool.parallel_for pool d (fun _ -> ());
+  let (), pool_s =
+    elapsed_s (fun () ->
+        for _ = 1 to iters do
+          Core.Pool.parallel_for pool d (fun _ -> ())
+        done)
+  in
+  let (), spawn_s =
+    elapsed_s (fun () ->
+        for _ = 1 to iters do
+          let spawned = List.init (d - 1) (fun _ -> Domain.spawn (fun () -> ())) in
+          List.iter Domain.join spawned
+        done)
+  in
+  Core.Pool.teardown pool;
+  let pool_ns = pool_s *. 1e9 /. float_of_int iters in
+  let spawn_ns = spawn_s *. 1e9 /. float_of_int iters in
+  Printf.printf
+    "\nPool dispatch overhead (%d domains, %d calls): %.1f us/call pooled vs %.1f us/call \
+     spawn-per-call (%.1fx less)\n%!"
+    d iters (pool_ns /. 1e3) (spawn_ns /. 1e3)
+    (spawn_ns /. pool_ns);
+  Json_out.Obj
+    [
+      ("domains", Json_out.Int d);
+      ("iterations", Json_out.Int iters);
+      ("pool_ns_per_call", Json_out.Float pool_ns);
+      ("spawn_ns_per_call", Json_out.Float spawn_ns);
+      ("overhead_ratio", Json_out.Float (spawn_ns /. pool_ns));
+    ]
+
+let report_fig4_scaling () =
+  (* Domain-count scaling of the Fig. 4 Monte-Carlo sweep, with an
+     output-identity check: the pre-split per-trial RNGs make the rows
+     byte-identical at any domain count. *)
+  let trials = if quick then 10 else 100 in
+  let processor_counts = if quick then [ 10; 20; 40 ] else Experiments.Fig4.default_processor_counts in
+  let profile = Core.Profiles.paper_lognormal in
+  let max_d = Core.Parallel.default_domains () in
+  let domain_counts =
+    List.sort_uniq compare (List.filter (fun d -> d <= max 2 max_d) [ 1; 2; 4; max_d ])
+  in
+  Core.Parallel.warm_up ~domains:(List.fold_left max 1 domain_counts) ();
+  let runs =
+    List.map
+      (fun d ->
+        let points, seconds =
+          elapsed_s (fun () ->
+              Experiments.Fig4.sweep ~processor_counts ~trials ~domains:d profile)
+        in
+        (d, seconds, Experiments.Fig4.csv points))
+      domain_counts
+  in
+  let _, base_seconds, base_csv = List.hd runs in
+  let identical =
+    List.for_all (fun (_, _, csv) -> csv = base_csv) runs
+  in
+  Experiments.Report.section
+    (Printf.sprintf "Fig. 4 sweep domain scaling (lognormal, %d trials/point)" trials);
+  let table =
+    Numerics.Ascii_table.create ~headers:[ "domains"; "seconds"; "speedup"; "output" ]
+  in
+  List.iter
+    (fun (d, seconds, csv) ->
+      Numerics.Ascii_table.add_row table
+        [
+          string_of_int d;
+          Printf.sprintf "%.3f" seconds;
+          Printf.sprintf "%.2fx" (base_seconds /. seconds);
+          (if csv = base_csv then "identical" else "DIFFERS");
+        ])
+    runs;
+  Numerics.Ascii_table.print table;
+  if not identical then
+    Printf.printf "WARNING: Fig. 4 output changed with the domain count!\n%!";
+  Json_out.Obj
+    [
+      ("trials", Json_out.Int trials);
+      ("outputs_identical", Json_out.Bool identical);
+      ( "runs",
+        Json_out.List
+          (List.map
+             (fun (d, seconds, _) ->
+               Json_out.Obj
+                 [
+                   ("domains", Json_out.Int d);
+                   ("seconds", Json_out.Float seconds);
+                   ("speedup", Json_out.Float (base_seconds /. seconds));
+                 ])
+             runs) );
+    ]
 
 let run_micro_benchmarks () =
   Experiments.Report.section "Bechamel micro-benchmarks";
@@ -205,7 +324,13 @@ let run_micro_benchmarks () =
       in
       Numerics.Ascii_table.add_row table [ name; human; r2 ])
     rows;
-  Numerics.Ascii_table.print table
+  Numerics.Ascii_table.print table;
+  List.filter_map
+    (fun (name, ols) ->
+      match Analyze.OLS.estimates ols with
+      | Some (e :: _) -> Some (name, e)
+      | Some [] | None -> None)
+    rows
 
 (* --- Part 2: paper reproduction ---------------------------------------- *)
 
@@ -269,12 +394,28 @@ let run_ablation () =
 let () =
   Printf.printf "nldl bench harness (version %s)%s\n%!" Core.version
     (if quick then " [quick mode]" else "");
-  run_micro_benchmarks ();
-  report_multicore ();
+  let kernels = run_micro_benchmarks () in
+  let multicore = report_multicore () in
+  let pool = report_pool_overhead () in
+  let fig4_scaling = report_fig4_scaling () in
   run_e1 ();
   run_e2 ();
   run_e3 ();
   run_fig4 ();
   run_e4 ();
   run_ablation ();
+  let json =
+    Json_out.Obj
+      [
+        ("version", Json_out.String Core.version);
+        ("quick", Json_out.Bool quick);
+        ( "kernels_ns_per_run",
+          Json_out.Obj (List.map (fun (name, ns) -> (name, Json_out.Float ns)) kernels) );
+        ("pool_overhead", pool);
+        ("multicore_sort", multicore);
+        ("fig4_scaling", fig4_scaling);
+      ]
+  in
+  Json_out.write_file "BENCH_results.json" json;
+  Printf.printf "\nWrote BENCH_results.json\n%!";
   Printf.printf "\nDone.\n%!"

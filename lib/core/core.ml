@@ -19,6 +19,7 @@ module Rng = Numerics.Rng
 module Distributions = Numerics.Distributions
 module Stats = Numerics.Stats
 module Parallel = Numerics.Parallel
+module Pool = Exec.Pool
 
 (* Platforms (paper §1.2). *)
 module Processor = Platform.Processor

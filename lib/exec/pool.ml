@@ -1,0 +1,237 @@
+(* Persistent domain pool with a chunked dynamic scheduler.
+
+   Workers are spawned once and parked on a condition variable between
+   submissions; each submission publishes a task whose chunk indices are
+   claimed through a shared atomic counter, so uneven per-index costs
+   load-balance instead of following a fixed contiguous split. *)
+
+type task = {
+  n : int;
+  chunk_size : int;
+  chunk_count : int;
+  body : int -> unit;
+  next_chunk : int Atomic.t;
+  (* Participation slots for workers (the caller always participates);
+     workers beyond [max_extra] report done without pulling chunks, which
+     is how [~workers] caps effective parallelism on a larger pool. *)
+  max_extra : int;
+  claimed : int Atomic.t;
+  failure : (exn * Printexc.raw_backtrace) option Atomic.t;
+}
+
+type t = {
+  mutex : Mutex.t;
+  work : Condition.t;
+  retired : Condition.t;
+  mutable workers : unit Domain.t array;
+  mutable task : task option;
+  mutable generation : int;
+  mutable finished : int;  (* workers done with the current generation *)
+  mutable torn_down : bool;
+}
+
+let default_domains () = max 1 (Domain.recommended_domain_count ())
+let size pool = 1 + Array.length pool.workers
+
+(* True while this domain is executing pool work (worker loop, or a
+   caller inside a submission).  Nested submissions from such a domain
+   run sequentially instead of deadlocking on the single task slot. *)
+let busy_key = Domain.DLS.new_key (fun () -> false)
+
+let run_chunks task =
+  let rec loop () =
+    let c = Atomic.fetch_and_add task.next_chunk 1 in
+    if c < task.chunk_count then begin
+      (* After a failure the remaining chunks are drained without
+         running the body, so the submission finishes promptly. *)
+      (match Atomic.get task.failure with
+      | Some _ -> ()
+      | None -> (
+          try
+            let start = c * task.chunk_size in
+            let stop = min task.n (start + task.chunk_size) in
+            for i = start to stop - 1 do
+              task.body i
+            done
+          with e ->
+            let bt = Printexc.get_raw_backtrace () in
+            ignore (Atomic.compare_and_set task.failure None (Some (e, bt)))));
+      loop ()
+    end
+  in
+  loop ()
+
+let rec worker_loop pool seen =
+  Mutex.lock pool.mutex;
+  while pool.generation = seen && not pool.torn_down do
+    Condition.wait pool.work pool.mutex
+  done;
+  if pool.generation = seen then (* torn down, no pending task *)
+    Mutex.unlock pool.mutex
+  else begin
+    let gen = pool.generation in
+    let task = Option.get pool.task in
+    Mutex.unlock pool.mutex;
+    if Atomic.fetch_and_add task.claimed 1 < task.max_extra then run_chunks task;
+    Mutex.lock pool.mutex;
+    pool.finished <- pool.finished + 1;
+    Condition.broadcast pool.retired;
+    Mutex.unlock pool.mutex;
+    worker_loop pool gen
+  end
+
+let spawn_worker pool seen =
+  Domain.spawn (fun () ->
+      Domain.DLS.set busy_key true;
+      worker_loop pool seen)
+
+let create ?domains () =
+  let domains =
+    match domains with Some d -> max 1 d | None -> default_domains ()
+  in
+  let pool =
+    {
+      mutex = Mutex.create ();
+      work = Condition.create ();
+      retired = Condition.create ();
+      workers = [||];
+      task = None;
+      generation = 0;
+      finished = 0;
+      torn_down = false;
+    }
+  in
+  pool.workers <- Array.init (domains - 1) (fun _ -> spawn_worker pool 0);
+  pool
+
+let ensure pool ~domains =
+  (* Only ever called between submissions, so no task is in flight. *)
+  Mutex.lock pool.mutex;
+  let missing = if pool.torn_down then 0 else domains - size pool in
+  let seen = pool.generation in
+  Mutex.unlock pool.mutex;
+  if missing > 0 then
+    pool.workers <-
+      Array.append pool.workers
+        (Array.init missing (fun _ -> spawn_worker pool seen))
+
+let teardown pool =
+  Mutex.lock pool.mutex;
+  if pool.torn_down then Mutex.unlock pool.mutex
+  else begin
+    pool.torn_down <- true;
+    Condition.broadcast pool.work;
+    Mutex.unlock pool.mutex;
+    Array.iter Domain.join pool.workers;
+    pool.workers <- [||]
+  end
+
+let default_chunks_per_worker = 8
+
+let parallel_for ?workers ?chunk pool n body =
+  let workers =
+    match workers with Some w -> max 1 w | None -> size pool
+  in
+  let workers = min workers (size pool) in
+  if n <= 0 then ()
+  else if n = 1 || workers = 1 || pool.torn_down || Domain.DLS.get busy_key
+  then
+    for i = 0 to n - 1 do
+      body i
+    done
+  else begin
+    let parts = min workers n in
+    let chunk_size =
+      match chunk with
+      | Some c -> max 1 c
+      | None ->
+          let target = parts * default_chunks_per_worker in
+          max 1 ((n + target - 1) / target)
+    in
+    let chunk_count = (n + chunk_size - 1) / chunk_size in
+    let task =
+      {
+        n;
+        chunk_size;
+        chunk_count;
+        body;
+        next_chunk = Atomic.make 0;
+        max_extra = parts - 1;
+        claimed = Atomic.make 0;
+        failure = Atomic.make None;
+      }
+    in
+    Mutex.lock pool.mutex;
+    pool.task <- Some task;
+    pool.generation <- pool.generation + 1;
+    pool.finished <- 0;
+    Condition.broadcast pool.work;
+    Mutex.unlock pool.mutex;
+    Domain.DLS.set busy_key true;
+    Fun.protect
+      ~finally:(fun () -> Domain.DLS.set busy_key false)
+      (fun () -> run_chunks task);
+    Mutex.lock pool.mutex;
+    (* Every worker responds to every generation (participant or not), so
+       completion is simply all workers having reported in. *)
+    while pool.finished < Array.length pool.workers do
+      Condition.wait pool.retired pool.mutex
+    done;
+    pool.task <- None;
+    Mutex.unlock pool.mutex;
+    match Atomic.get task.failure with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ()
+  end
+
+let parallel_map_array ?workers ?chunk pool f a =
+  let n = Array.length a in
+  if n = 0 then [||]
+  else begin
+    let first = f a.(0) in
+    let out = Array.make n first in
+    parallel_for ?workers ?chunk pool (n - 1) (fun i -> out.(i + 1) <- f a.(i + 1));
+    out
+  end
+
+let default_reduce_chunks = 64
+
+let parallel_reduce ?workers ?chunk pool ~init ~map ~combine n =
+  if n <= 0 then init
+  else begin
+    (* Chunk geometry depends only on [n] (and [?chunk]) — never on the
+       worker count — and partials are combined in chunk order, so the
+       result is identical at any domain count. *)
+    let chunk_size =
+      match chunk with
+      | Some c -> max 1 c
+      | None -> max 1 ((n + default_reduce_chunks - 1) / default_reduce_chunks)
+    in
+    let chunk_count = (n + chunk_size - 1) / chunk_size in
+    let partials = Array.make chunk_count init in
+    parallel_for ?workers ~chunk:1 pool chunk_count (fun c ->
+        let start = c * chunk_size in
+        let stop = min n (start + chunk_size) in
+        let acc = ref (map start) in
+        for i = start + 1 to stop - 1 do
+          acc := combine !acc (map i)
+        done;
+        partials.(c) <- !acc);
+    Array.fold_left combine init partials
+  end
+
+(* Global pool, shared by Numerics.Parallel and anything else that does
+   not want to manage a pool of its own.  Grown on demand when a caller
+   asks for more domains than it currently has; torn down at exit. *)
+let global : t option ref = ref None
+
+let get_global ?(at_least = 1) () =
+  match !global with
+  | Some pool ->
+      if at_least > size pool then ensure pool ~domains:at_least;
+      pool
+  | None ->
+      let pool = create ~domains:(max at_least (default_domains ())) () in
+      global := Some pool;
+      at_exit (fun () -> teardown pool);
+      pool

@@ -1,0 +1,75 @@
+(** Persistent domain pool with chunked dynamic scheduling.
+
+    [Numerics.Parallel]'s original helpers paid a [Domain.spawn] /
+    [Domain.join] round-trip on every call and split the index range into
+    fixed contiguous blocks.  This pool spawns its worker domains once,
+    parks them on a condition variable between submissions, and hands out
+    work in chunks claimed through a shared atomic index, so uneven tasks
+    (buckets of different sizes, rows of different cost) load-balance
+    dynamically.
+
+    Submissions are synchronous: [parallel_for] returns once every index
+    has run.  A pool must only receive submissions from one domain at a
+    time (the experiment drivers and benches are single-threaded at the
+    top level); nested submissions from inside a running body are safe
+    and execute sequentially on the calling domain. *)
+
+type t
+(** A pool of worker domains.  The submitting domain always participates
+    in the work, so a pool of size [d] runs bodies on up to [d] domains
+    while owning only [d - 1] workers. *)
+
+val default_domains : unit -> int
+(** [Domain.recommended_domain_count], at least 1. *)
+
+val create : ?domains:int -> unit -> t
+(** [create ~domains ()] spawns [domains - 1] parked worker domains
+    (default {!default_domains}).  [domains <= 1] gives a pool that runs
+    everything sequentially on the caller. *)
+
+val size : t -> int
+(** Number of domains the pool can use, including the caller. *)
+
+val ensure : t -> domains:int -> unit
+(** Grow the pool to at least [domains] domains (no-op if already that
+    large or torn down).  Must not be called while a submission is in
+    flight. *)
+
+val teardown : t -> unit
+(** Shut down and join all workers.  Idempotent.  A torn-down pool still
+    accepts submissions but runs them sequentially. *)
+
+val parallel_for : ?workers:int -> ?chunk:int -> t -> int -> (int -> unit) -> unit
+(** [parallel_for pool n body] runs [body i] for [i] in [0 .. n-1].
+    [?workers] caps how many domains participate (default: pool size);
+    [?chunk] overrides the chunk size (default: enough chunks for ~8 per
+    participant).  [body] must only touch disjoint state per index.  If a
+    body raises, remaining chunks are skipped and the first exception is
+    re-raised in the caller with its backtrace; the pool remains usable.
+    Runs sequentially when [n <= 1], [workers = 1], the pool is torn
+    down, or the call is nested inside another submission. *)
+
+val parallel_map_array :
+  ?workers:int -> ?chunk:int -> t -> ('a -> 'b) -> 'a array -> 'b array
+(** Element-wise map with the same contract as {!parallel_for}. *)
+
+val parallel_reduce :
+  ?workers:int ->
+  ?chunk:int ->
+  t ->
+  init:'a ->
+  map:(int -> 'a) ->
+  combine:('a -> 'a -> 'a) ->
+  int ->
+  'a
+(** [parallel_reduce pool ~init ~map ~combine n] is
+    [fold_left combine init (map 0 .. map (n-1))] for associative
+    [combine].  Chunk geometry depends only on [n] (and [?chunk]), and
+    per-chunk partials are combined in chunk order, so the result —
+    including floating-point rounding — is identical at any domain
+    count. *)
+
+val get_global : ?at_least:int -> unit -> t
+(** The process-wide shared pool, created on first use (sized
+    {!default_domains}, or [at_least] if larger) and torn down via
+    [at_exit].  Grows if a later caller asks for more domains. *)

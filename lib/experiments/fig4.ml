@@ -12,21 +12,27 @@ type point = {
 let default_processor_counts = [ 10; 20; 40; 60; 80; 100 ]
 
 let sweep ?(processor_counts = default_processor_counts) ?(trials = 100) ?(seed = 20130520)
-    profile =
+    ?domains profile =
   let rng = Rng.create ~seed () in
   let point p =
     let het = Array.make trials 0. in
     let hom = Array.make trials 0. in
     let hom_over_k = Array.make trials 0. in
     let ks = Array.make trials 0. in
+    (* Split the seed RNG sequentially so every trial owns an
+       independent stream; the trial loop can then run on the domain
+       pool with results identical to the sequential order. *)
+    let rngs = Array.make trials rng in
     for t = 0 to trials - 1 do
-      let star = Platform.Profiles.generate (Rng.split rng) ~p profile in
-      let r = Partition.Strategies.evaluate star in
-      het.(t) <- r.Partition.Strategies.het;
-      hom.(t) <- r.Partition.Strategies.hom;
-      hom_over_k.(t) <- r.Partition.Strategies.hom_over_k;
-      ks.(t) <- float_of_int r.Partition.Strategies.k
+      rngs.(t) <- Rng.split rng
     done;
+    Numerics.Parallel.parallel_for ?domains trials (fun t ->
+        let star = Platform.Profiles.generate rngs.(t) ~p profile in
+        let r = Partition.Strategies.evaluate star in
+        het.(t) <- r.Partition.Strategies.het;
+        hom.(t) <- r.Partition.Strategies.hom;
+        hom_over_k.(t) <- r.Partition.Strategies.hom_over_k;
+        ks.(t) <- float_of_int r.Partition.Strategies.k);
     {
       p;
       het = Stats.summarize het;

@@ -19,9 +19,14 @@ val sweep :
   ?processor_counts:int list ->
   ?trials:int ->
   ?seed:int ->
+  ?domains:int ->
   Platform.Profiles.t ->
   point list
-(** [trials] defaults to 100 (the paper), [seed] to a fixed constant. *)
+(** [trials] defaults to 100 (the paper), [seed] to a fixed constant.
+    Trials run on up to [domains] domains of the shared pool (default
+    {!Numerics.Parallel.default_domains}); per-trial RNGs are pre-split
+    from the seed generator in sequential order, so the output is
+    identical at any domain count. *)
 
 val print : title:string -> point list -> unit
 (** Table plus ASCII chart of the three series. *)

@@ -12,7 +12,7 @@ type row = {
 }
 
 let run ?(n = 512) ?(chunk = 16) ?(processor_counts = [ 4; 16 ]) ?(trials = 3) ?(seed = 17)
-    () =
+    ?domains () =
   let rng = Rng.create ~seed () in
   let rows = ref [] in
   let profiles = [ Profiles.paper_homogeneous; Profiles.paper_uniform ] in
@@ -25,8 +25,14 @@ let run ?(n = 512) ?(chunk = 16) ?(processor_counts = [ 4; 16 ]) ?(trials = 3) ?
           let zone_comm = Array.make trials 0. in
           let fifo_makespan = Array.make trials 0. in
           let affinity_makespan = Array.make trials 0. in
+          (* Pre-split per-trial RNGs in sequential order, then run the
+             trials on the domain pool: same streams, same output. *)
+          let rngs = Array.make trials rng in
           for t = 0 to trials - 1 do
-            let trial_rng = Rng.split rng in
+            rngs.(t) <- Rng.split rng
+          done;
+          Numerics.Parallel.parallel_for ?domains trials (fun t ->
+            let trial_rng = rngs.(t) in
             let star = Profiles.generate trial_rng ~p profile in
             let a = Array.init n (fun _ -> Rng.uniform trial_rng (-1.) 1.) in
             let b = Array.init n (fun _ -> Rng.uniform trial_rng (-1.) 1.) in
@@ -44,8 +50,7 @@ let run ?(n = 512) ?(chunk = 16) ?(processor_counts = [ 4; 16 ]) ?(trials = 3) ?
             affinity_comm.(t) <- affinity.Mapreduce.Scheduler.communication;
             zone_comm.(t) <- float_of_int (Linalg.Zone.half_perimeter_sum zones);
             fifo_makespan.(t) <- fifo.Mapreduce.Scheduler.makespan;
-            affinity_makespan.(t) <- affinity.Mapreduce.Scheduler.makespan
-          done;
+            affinity_makespan.(t) <- affinity.Mapreduce.Scheduler.makespan);
           rows :=
             {
               p;

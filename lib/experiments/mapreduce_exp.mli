@@ -24,7 +24,10 @@ val run :
   ?processor_counts:int list ->
   ?trials:int ->
   ?seed:int ->
+  ?domains:int ->
   unit ->
   row list
+(** Trials run on the shared domain pool with pre-split per-trial RNGs;
+    output is identical at any [domains]. *)
 
 val print : row list -> unit

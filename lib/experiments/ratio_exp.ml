@@ -39,7 +39,8 @@ let run_bimodal ?(p = 20) ?(factors = [ 1.; 4.; 9.; 16.; 25.; 49.; 100. ]) () =
       })
     factors
 
-let run_general ?(processor_counts = [ 10; 40; 100 ]) ?(trials = 20) ?(seed = 5) () =
+let run_general ?(processor_counts = [ 10; 40; 100 ]) ?(trials = 20) ?(seed = 5) ?domains
+    () =
   let rng = Rng.create ~seed () in
   let rows = ref [] in
   let profiles = [ Profiles.paper_uniform; Profiles.paper_lognormal ] in
@@ -49,11 +50,16 @@ let run_general ?(processor_counts = [ 10; 40; 100 ]) ?(trials = 20) ?(seed = 5)
         (fun p ->
           let rhos = Array.make trials 0. in
           let bounds = Array.make trials 0. in
+          (* Pre-split per-trial RNGs in sequential order, then run the
+             trials on the domain pool: same streams, same output. *)
+          let rngs = Array.make trials rng in
           for t = 0 to trials - 1 do
-            let star = Profiles.generate (Rng.split rng) ~p profile in
-            rhos.(t) <- measured_rho star;
-            bounds.(t) <- Platform.Metrics.hom_over_het_bound star
+            rngs.(t) <- Rng.split rng
           done;
+          Numerics.Parallel.parallel_for ?domains trials (fun t ->
+              let star = Profiles.generate rngs.(t) ~p profile in
+              rhos.(t) <- measured_rho star;
+              bounds.(t) <- Platform.Metrics.hom_over_het_bound star);
           rows :=
             {
               p;

@@ -25,8 +25,16 @@ type general_row = {
 }
 
 val run_bimodal : ?p:int -> ?factors:float list -> unit -> bimodal_row list
+
 val run_general :
-  ?processor_counts:int list -> ?trials:int -> ?seed:int -> unit -> general_row list
+  ?processor_counts:int list ->
+  ?trials:int ->
+  ?seed:int ->
+  ?domains:int ->
+  unit ->
+  general_row list
+(** Trials run on the shared domain pool with pre-split per-trial RNGs;
+    output is identical at any [domains]. *)
 
 val print_bimodal : bimodal_row list -> unit
 val print_general : general_row list -> unit

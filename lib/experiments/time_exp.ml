@@ -9,23 +9,28 @@ type row = {
 }
 
 let run ?(p = 32) ?(n = 1e3) ?(bandwidths = [ 1e4; 1e2; 10.; 1.; 0.1 ]) ?(trials = 10)
-    ?(seed = 41) profile =
+    ?(seed = 41) ?domains profile =
   let rng = Rng.create ~seed () in
   List.map
     (fun bandwidth ->
       let het_ratios = Array.make trials 0. in
       let hom_ratios = Array.make trials 0. in
       let comm_shares = Array.make trials 0. in
+      (* Pre-split per-trial RNGs in sequential order, then run the
+         trials on the domain pool: same streams, same output. *)
+      let rngs = Array.make trials rng in
       for t = 0 to trials - 1 do
-        let star = Profiles.generate ~bandwidth (Rng.split rng) ~p profile in
-        let bound = Partition.Timed.compute_bound star ~n in
-        let het = Partition.Timed.het star ~n in
-        let hom = Partition.Timed.hom_balanced star ~n in
-        het_ratios.(t) <- het.Partition.Timed.makespan /. bound;
-        hom_ratios.(t) <- hom.Partition.Timed.makespan /. bound;
-        comm_shares.(t) <-
-          het.Partition.Timed.comm_makespan /. het.Partition.Timed.makespan
+        rngs.(t) <- Rng.split rng
       done;
+      Numerics.Parallel.parallel_for ?domains trials (fun t ->
+          let star = Profiles.generate ~bandwidth rngs.(t) ~p profile in
+          let bound = Partition.Timed.compute_bound star ~n in
+          let het = Partition.Timed.het star ~n in
+          let hom = Partition.Timed.hom_balanced star ~n in
+          het_ratios.(t) <- het.Partition.Timed.makespan /. bound;
+          hom_ratios.(t) <- hom.Partition.Timed.makespan /. bound;
+          comm_shares.(t) <-
+            het.Partition.Timed.comm_makespan /. het.Partition.Timed.makespan);
       {
         bandwidth;
         het_ratio = Numerics.Stats.mean het_ratios;

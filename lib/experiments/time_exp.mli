@@ -22,7 +22,10 @@ val run :
   ?bandwidths:float list ->
   ?trials:int ->
   ?seed:int ->
+  ?domains:int ->
   Platform.Profiles.t ->
   row list
+(** Trials run on the shared domain pool with pre-split per-trial RNGs;
+    output is identical at any [domains]. *)
 
 val print : profile:string -> row list -> unit

@@ -1,30 +1,22 @@
-let default_domains () = max 1 (Domain.recommended_domain_count ())
+(* Thin facade over the persistent domain pool in [Exec.Pool]: same
+   signatures as the original spawn-per-call helpers, but the worker
+   domains are spawned once and reused across every call. *)
+
+let default_domains = Exec.Pool.default_domains
+
+let resolve domains =
+  match domains with Some d -> max 1 d | None -> default_domains ()
 
 let parallel_for ?domains n body =
-  let domains = match domains with Some d -> max 1 d | None -> default_domains () in
+  let domains = resolve domains in
   if domains <= 1 || n <= 1 then
     for i = 0 to n - 1 do
       body i
     done
-  else begin
-    let workers = min domains n in
-    (* Contiguous ranges; the last worker runs on the calling domain. *)
-    let range w =
-      let per = n / workers and extra = n mod workers in
-      let start = (w * per) + min w extra in
-      let len = per + (if w < extra then 1 else 0) in
-      (start, len)
-    in
-    let run w () =
-      let start, len = range w in
-      for i = start to start + len - 1 do
-        body i
-      done
-    in
-    let spawned = List.init (workers - 1) (fun w -> Domain.spawn (run w)) in
-    run (workers - 1) ();
-    List.iter Domain.join spawned
-  end
+  else
+    Exec.Pool.parallel_for ~workers:domains
+      (Exec.Pool.get_global ~at_least:domains ())
+      n body
 
 let parallel_map_array ?domains f a =
   let n = Array.length a in
@@ -35,3 +27,18 @@ let parallel_map_array ?domains f a =
     parallel_for ?domains (n - 1) (fun i -> out.(i + 1) <- f a.(i + 1));
     out
   end
+
+let parallel_reduce ?domains ?chunk ~init ~map ~combine n =
+  let domains = resolve domains in
+  if domains <= 1 then
+    Exec.Pool.parallel_reduce ~workers:1 ?chunk
+      (Exec.Pool.get_global ())
+      ~init ~map ~combine n
+  else
+    Exec.Pool.parallel_reduce ~workers:domains ?chunk
+      (Exec.Pool.get_global ~at_least:domains ())
+      ~init ~map ~combine n
+
+let warm_up ?domains () =
+  let domains = resolve domains in
+  if domains > 1 then ignore (Exec.Pool.get_global ~at_least:domains ())

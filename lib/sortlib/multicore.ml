@@ -21,13 +21,18 @@ let sort ?domains ?s rng keys ~p =
     Array.concat (Array.to_list contents)
   end
 
+(* Monotonic clock (ns): wall-clock [Unix.gettimeofday] is subject to
+   NTP slew and skews the reported speedup on loaded hosts. *)
 let time f =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Monotonic_clock.now () in
   let result = f () in
-  (result, Unix.gettimeofday () -. t0)
+  (result, Int64.to_float (Int64.sub (Monotonic_clock.now ()) t0) /. 1e9)
 
 let speedup ?domains rng ~n ~p =
   let keys = Array.init n (fun _ -> Rng.float rng) in
+  (* Warm the shared pool so the parallel run is not charged the one-off
+     domain-spawn cost. *)
+  Numerics.Parallel.warm_up ?domains ();
   let sequential_rng = Rng.copy rng in
   let _, sequential =
     time (fun () -> sort ~domains:1 sequential_rng keys ~p)

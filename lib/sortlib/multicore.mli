@@ -14,4 +14,6 @@ val sort :
 val speedup :
   ?domains:int -> Numerics.Rng.t -> n:int -> p:int -> float * float * float
 (** Measure [(sequential seconds, parallel seconds, speedup)] on a
-    fresh random array of size [n] — used by the bench harness. *)
+    fresh random array of size [n] — used by the bench harness.  Times
+    come from the monotonic clock, and the shared domain pool is warmed
+    up before the first measurement so spawn cost is not counted. *)
