@@ -23,6 +23,20 @@ open Toolkit
 
 let quick = Array.exists (fun a -> a = "--quick") Sys.argv
 
+(* [--check-alloc PATH]: after measuring, diff the per-kernel allocation
+   counters against the committed baseline and exit non-zero on >10%
+   growth.  [--write-alloc-baseline PATH]: regenerate that baseline. *)
+let arg_value flag =
+  let rec find = function
+    | f :: value :: _ when f = flag -> Some value
+    | _ :: rest -> find rest
+    | [] -> None
+  in
+  find (Array.to_list Sys.argv)
+
+let check_alloc_path = arg_value "--check-alloc"
+let write_alloc_path = arg_value "--write-alloc-baseline"
+
 let elapsed_s f =
   let t0 = Mclock.now () in
   let result = f () in
@@ -273,6 +287,149 @@ let report_fig4_scaling () =
              runs) );
     ]
 
+(* --- Allocation accounting --------------------------------------------- *)
+
+(* One closure per tracked kernel.  Domain counts are pinned (never
+   host-derived) and input sizes fixed, so the counters are comparable
+   across machines — which is what lets CI hard-fail on regressions
+   against the committed baseline.  [Gc.minor_words]/[major_words] count
+   the submitting domain, so pool-worker noise is excluded. *)
+let alloc_kernels () =
+  let n_keys = 200_000 and p = 16 in
+  let rng = Core.Rng.create ~seed:21 () in
+  let keys = Array.init n_keys (fun _ -> Core.Rng.float rng) in
+  let splitters =
+    Core.Sample_sort.choose_splitters ~cmp:Float.compare
+      (Core.Rng.create ~seed:22 ())
+      keys ~p
+      ~s:(Core.Sample_sort.default_oversampling ~n:n_keys)
+  in
+  let mat_rng = Core.Rng.create ~seed:23 () in
+  let n_mat = 96 in
+  let a = Core.Matrix.random mat_rng ~rows:n_mat ~cols:n_mat in
+  let b = Core.Matrix.random mat_rng ~rows:n_mat ~cols:n_mat in
+  let star = bench_platform 8 in
+  let zones = Core.Zone.for_platform star ~n:n_mat in
+  let n_vec = 256 in
+  let va = Array.init n_vec (fun _ -> Core.Rng.float mat_rng) in
+  let vb = Array.init n_vec (fun _ -> Core.Rng.float mat_rng) in
+  let vzones = Core.Zone.for_platform star ~n:n_vec in
+  [
+    ( "scatter_partition_floats",
+      fun () -> ignore (Core.Scatter.partition_floats keys ~splitters) );
+    ( "scatter_partition_pool",
+      fun () ->
+        ignore
+          (Core.Scatter.partition_floats_pool ~workers:2
+             (Core.Pool.get_global ~at_least:2 ())
+             keys ~splitters) );
+    ( "multicore_sort",
+      fun () -> ignore (Core.Multicore_sort.sort ~domains:2 (Core.Rng.create ~seed:24 ()) keys ~p) );
+    ("psrs_sort", fun () -> ignore (Core.Psrs.sort keys ~p));
+    ("histogram_splitters", fun () -> ignore (Core.Histogram_sort.splitters keys ~p));
+    ("matmul_distributed", fun () -> ignore (Core.Matmul.distributed ~zones a b));
+    ( "outer_product_distributed",
+      fun () -> ignore (Core.Outer_product.distributed ~zones:vzones va vb) );
+    ("parallel_matmul", fun () -> ignore (Core.Parallel_matmul.multiply ~domains:2 a b));
+  ]
+
+let report_allocations () =
+  Experiments.Report.section "Allocation counters (Gc words per run)";
+  let table =
+    Numerics.Ascii_table.create ~headers:[ "kernel"; "minor words"; "major words" ]
+  in
+  Numerics.Ascii_table.set_align table [ Numerics.Ascii_table.Left; Right; Right ];
+  let measured =
+    List.map
+      (fun (name, f) ->
+        (* Untimed warm-up so one-time costs (pool spawn, lazy globals)
+           are not charged to the kernel. *)
+        f ();
+        Gc.full_major ();
+        let minor0 = Gc.minor_words () in
+        let major0 = (Gc.quick_stat ()).Gc.major_words in
+        f ();
+        let minor = Gc.minor_words () -. minor0 in
+        let major = (Gc.quick_stat ()).Gc.major_words -. major0 in
+        Numerics.Ascii_table.add_row table
+          [ name; Printf.sprintf "%.0f" minor; Printf.sprintf "%.0f" major ];
+        (name, minor, major))
+      (alloc_kernels ())
+  in
+  Numerics.Ascii_table.print table;
+  let json =
+    Json_out.Obj
+      (List.map
+         (fun (name, minor, major) ->
+           ( name,
+             Json_out.Obj
+               [ ("minor_words", Json_out.Float minor); ("major_words", Json_out.Float major) ]
+           ))
+         measured)
+  in
+  (measured, json)
+
+(* Baseline file: one `name minor_words major_words` line per kernel. *)
+let write_alloc_baseline path measured =
+  let oc = open_out path in
+  output_string oc "# Allocation baseline: kernel minor_words major_words\n";
+  output_string oc "# Regenerate with: dune exec bench/main.exe -- --quick --write-alloc-baseline <path>\n";
+  List.iter
+    (fun (name, minor, major) -> Printf.fprintf oc "%s %.0f %.0f\n" name minor major)
+    measured;
+  close_out oc;
+  Printf.printf "Wrote allocation baseline to %s\n%!" path
+
+let read_alloc_baseline path =
+  let ic = open_in path in
+  let entries = ref [] in
+  (try
+     while true do
+       let line = String.trim (input_line ic) in
+       if line <> "" && line.[0] <> '#' then
+         match String.split_on_char ' ' line with
+         | [ name; minor; major ] ->
+             entries := (name, float_of_string minor, float_of_string major) :: !entries
+         | _ -> failwith (Printf.sprintf "malformed baseline line: %S" line)
+     done
+   with End_of_file -> ());
+  close_in ic;
+  List.rev !entries
+
+(* Hard gate: fail on >10% allocation growth (plus a small absolute
+   slack so tiny counters don't flap).  Timing is advisory only — shared
+   runners and single-CPU hosts make ns/run too noisy to gate on. *)
+let check_alloc_baseline path measured =
+  let tolerance = 1.10 and slack = 4096. in
+  let failures = ref [] in
+  List.iter
+    (fun (name, base_minor, base_major) ->
+      match List.find_opt (fun (n, _, _) -> n = name) measured with
+      | None -> failures := Printf.sprintf "%s: kernel missing from bench run" name :: !failures
+      | Some (_, minor, major) ->
+          let over v base = v > (base *. tolerance) +. slack in
+          if over minor base_minor then
+            failures :=
+              Printf.sprintf "%s: minor words %.0f > %.0f (baseline %.0f +10%%)" name minor
+                ((base_minor *. tolerance) +. slack)
+                base_minor
+              :: !failures;
+          if over major base_major then
+            failures :=
+              Printf.sprintf "%s: major words %.0f > %.0f (baseline %.0f +10%%)" name major
+                ((base_major *. tolerance) +. slack)
+                base_major
+              :: !failures)
+    (read_alloc_baseline path);
+  match List.rev !failures with
+  | [] ->
+      Printf.printf "\nAllocation check against %s: OK\n%!" path;
+      true
+  | failures ->
+      Printf.printf "\nAllocation check against %s: FAILED\n%!" path;
+      List.iter (fun f -> Printf.printf "  REGRESSION %s\n%!" f) failures;
+      false
+
 let run_micro_benchmarks () =
   Experiments.Report.section "Bechamel micro-benchmarks";
   let tests =
@@ -398,6 +555,10 @@ let () =
   let multicore = report_multicore () in
   let pool = report_pool_overhead () in
   let fig4_scaling = report_fig4_scaling () in
+  let alloc_measured, allocations = report_allocations () in
+  (match write_alloc_path with
+  | Some path -> write_alloc_baseline path alloc_measured
+  | None -> ());
   run_e1 ();
   run_e2 ();
   run_e3 ();
@@ -414,8 +575,15 @@ let () =
         ("pool_overhead", pool);
         ("multicore_sort", multicore);
         ("fig4_scaling", fig4_scaling);
+        ("allocations", allocations);
       ]
   in
   Json_out.write_file "BENCH_results.json" json;
   Printf.printf "\nWrote BENCH_results.json\n%!";
-  Printf.printf "\nDone.\n%!"
+  let alloc_ok =
+    match check_alloc_path with
+    | Some path -> check_alloc_baseline path alloc_measured
+    | None -> true
+  in
+  Printf.printf "\nDone.\n%!";
+  if not alloc_ok then exit 1

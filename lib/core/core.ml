@@ -20,6 +20,8 @@ module Distributions = Numerics.Distributions
 module Stats = Numerics.Stats
 module Parallel = Numerics.Parallel
 module Pool = Exec.Pool
+module Scatter = Kernels.Scatter
+module Seg_sort = Kernels.Seg_sort
 
 (* Platforms (paper §1.2). *)
 module Processor = Platform.Processor

@@ -1,0 +1,215 @@
+(* Counting-based scatter kernels: bucket-index histogram, exclusive
+   prefix sum, stable scatter into one preallocated array.  See the .mli
+   for the determinism contract; the float-specialized clones exist
+   because generic access to an unboxed [float array] boxes every read,
+   which would reintroduce the O(n) allocation this layer removes. *)
+
+type 'a t = { data : 'a array; offsets : int array }
+
+let num_buckets t = Array.length t.offsets - 1
+
+let bucket_bounds t b =
+  let lo = t.offsets.(b) in
+  (lo, t.offsets.(b + 1) - lo)
+
+let bucket_sizes t = Array.init (num_buckets t) (fun b -> t.offsets.(b + 1) - t.offsets.(b))
+
+let bucket t b =
+  let lo, len = bucket_bounds t b in
+  Array.sub t.data lo len
+
+let bucket_index ?(cmp = compare) splitters key =
+  (* Smallest i with key < splitters.(i); p-1 when none. *)
+  let rec search lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if cmp key splitters.(mid) < 0 then search lo mid else search (mid + 1) hi
+  in
+  search 0 (Array.length splitters)
+
+(* The float hot loops below inline this binary search as a while loop
+   over local refs (which the compiler keeps in registers): calling out
+   to a function would box the float key and allocate the closure of a
+   local [let rec] on every key, putting O(n) words right back on the
+   minor heap.  [key < s] is [Float.compare key s < 0] for non-NaN keys,
+   which is all the random-key workloads ever route. *)
+let bucket_index_floats (splitters : float array) (key : float) =
+  let lo = ref 0 and hi = ref (Array.length splitters) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if key < Array.unsafe_get splitters mid then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+let histogram ?(cmp = compare) keys ~splitters =
+  let counts = Array.make (Array.length splitters + 1) 0 in
+  Array.iter
+    (fun key ->
+      let b = bucket_index ~cmp splitters key in
+      counts.(b) <- counts.(b) + 1)
+    keys;
+  counts
+
+let histogram_floats (keys : float array) ~(splitters : float array) =
+  let m = Array.length splitters in
+  let counts = Array.make (m + 1) 0 in
+  for i = 0 to Array.length keys - 1 do
+    let key = Array.unsafe_get keys i in
+    let lo = ref 0 and hi = ref m in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if key < Array.unsafe_get splitters mid then hi := mid else lo := mid + 1
+    done;
+    Array.unsafe_set counts !lo (Array.unsafe_get counts !lo + 1)
+  done;
+  counts
+
+let exclusive_prefix counts =
+  let p = Array.length counts in
+  let offsets = Array.make (p + 1) 0 in
+  for b = 0 to p - 1 do
+    offsets.(b + 1) <- offsets.(b) + counts.(b)
+  done;
+  offsets
+
+let empty_result ~p = { data = [||]; offsets = Array.make (p + 1) 0 }
+
+let partition ?(cmp = compare) keys ~splitters =
+  let n = Array.length keys in
+  let p = Array.length splitters + 1 in
+  if n = 0 then empty_result ~p
+  else begin
+    let cursors = histogram ~cmp keys ~splitters in
+    let offsets = exclusive_prefix cursors in
+    Array.blit offsets 0 cursors 0 p;
+    let data = Array.make n keys.(0) in
+    for i = 0 to n - 1 do
+      let key = keys.(i) in
+      let b = bucket_index ~cmp splitters key in
+      data.(cursors.(b)) <- key;
+      cursors.(b) <- cursors.(b) + 1
+    done;
+    { data; offsets }
+  end
+
+let partition_floats (keys : float array) ~(splitters : float array) =
+  let n = Array.length keys in
+  let p = Array.length splitters + 1 in
+  if n = 0 then empty_result ~p
+  else begin
+    let cursors = histogram_floats keys ~splitters in
+    let offsets = exclusive_prefix cursors in
+    Array.blit offsets 0 cursors 0 p;
+    let data = Array.make n 0. in
+    let m = Array.length splitters in
+    for i = 0 to n - 1 do
+      let key = Array.unsafe_get keys i in
+      let lo = ref 0 and hi = ref m in
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        if key < Array.unsafe_get splitters mid then hi := mid else lo := mid + 1
+      done;
+      let at = Array.unsafe_get cursors !lo in
+      Array.unsafe_set data at key;
+      Array.unsafe_set cursors !lo (at + 1)
+    done;
+    { data; offsets }
+  end
+
+(* Slice geometry for the pool variants: a function of [n] only — never
+   of the worker count — so the merged prefix, and therefore the output,
+   cannot depend on how many domains run. *)
+let slice_count n = if n < 16_384 then 1 else min 64 (n / 8_192)
+let slice_lo ~n ~slices s = s * n / slices
+
+(* Turn the slice-major count matrix into per-(slice, bucket) write
+   cursors, in place: bucket b's region holds slice 0's keys, then slice
+   1's, ... — exactly input order, i.e. the same stable order as the
+   sequential scatter.  Returns the bucket offsets. *)
+let merge_cursors counts ~slices ~p =
+  let offsets = Array.make (p + 1) 0 in
+  let total = ref 0 in
+  for b = 0 to p - 1 do
+    offsets.(b) <- !total;
+    for s = 0 to slices - 1 do
+      let c = counts.((s * p) + b) in
+      counts.((s * p) + b) <- !total;
+      total := !total + c
+    done
+  done;
+  offsets.(p) <- !total;
+  offsets
+
+let partition_pool ?(cmp = compare) ?workers pool keys ~splitters =
+  let n = Array.length keys in
+  let p = Array.length splitters + 1 in
+  if n = 0 then empty_result ~p
+  else begin
+    let slices = slice_count n in
+    if slices = 1 then partition ~cmp keys ~splitters
+    else begin
+      let counts = Array.make (slices * p) 0 in
+      Exec.Pool.parallel_for ?workers pool slices (fun s ->
+          let lo = slice_lo ~n ~slices s and hi = slice_lo ~n ~slices (s + 1) in
+          let base = s * p in
+          for i = lo to hi - 1 do
+            let b = bucket_index ~cmp splitters keys.(i) in
+            counts.(base + b) <- counts.(base + b) + 1
+          done);
+      let offsets = merge_cursors counts ~slices ~p in
+      let data = Array.make n keys.(0) in
+      Exec.Pool.parallel_for ?workers pool slices (fun s ->
+          let lo = slice_lo ~n ~slices s and hi = slice_lo ~n ~slices (s + 1) in
+          let base = s * p in
+          for i = lo to hi - 1 do
+            let key = keys.(i) in
+            let b = bucket_index ~cmp splitters key in
+            data.(counts.(base + b)) <- key;
+            counts.(base + b) <- counts.(base + b) + 1
+          done);
+      { data; offsets }
+    end
+  end
+
+let partition_floats_pool ?workers pool (keys : float array) ~(splitters : float array) =
+  let n = Array.length keys in
+  let p = Array.length splitters + 1 in
+  if n = 0 then empty_result ~p
+  else begin
+    let slices = slice_count n in
+    if slices = 1 then partition_floats keys ~splitters
+    else begin
+      let m = Array.length splitters in
+      let counts = Array.make (slices * p) 0 in
+      Exec.Pool.parallel_for ?workers pool slices (fun s ->
+          let i0 = slice_lo ~n ~slices s and i1 = slice_lo ~n ~slices (s + 1) in
+          let base = s * p in
+          for i = i0 to i1 - 1 do
+            let key = Array.unsafe_get keys i in
+            let lo = ref 0 and hi = ref m in
+            while !lo < !hi do
+              let mid = (!lo + !hi) / 2 in
+              if key < Array.unsafe_get splitters mid then hi := mid else lo := mid + 1
+            done;
+            Array.unsafe_set counts (base + !lo) (Array.unsafe_get counts (base + !lo) + 1)
+          done);
+      let offsets = merge_cursors counts ~slices ~p in
+      let data = Array.make n 0. in
+      Exec.Pool.parallel_for ?workers pool slices (fun s ->
+          let i0 = slice_lo ~n ~slices s and i1 = slice_lo ~n ~slices (s + 1) in
+          let base = s * p in
+          for i = i0 to i1 - 1 do
+            let key = Array.unsafe_get keys i in
+            let lo = ref 0 and hi = ref m in
+            while !lo < !hi do
+              let mid = (!lo + !hi) / 2 in
+              if key < Array.unsafe_get splitters mid then hi := mid else lo := mid + 1
+            done;
+            let at = Array.unsafe_get counts (base + !lo) in
+            Array.unsafe_set data at key;
+            Array.unsafe_set counts (base + !lo) (at + 1)
+          done);
+      { data; offsets }
+    end
+  end

@@ -1,0 +1,76 @@
+(** Counting-based scatter/partition kernels (paper §3, phase 2).
+
+    The sample-sort family routes every key to a bucket chosen by binary
+    search among [p - 1] splitters.  The original implementation built a
+    cons cell per key and re-concatenated ([O(n)] short-lived
+    allocations); these kernels do it in two passes — bucket-index
+    histogram, exclusive prefix sum, scatter into one preallocated array
+    — with [O(p)] auxiliary allocation beyond the output array itself.
+
+    The scatter is {e stable}: within each bucket, keys keep their input
+    order.  Stability is what makes the pool-parallel variants
+    byte-identical to the sequential kernel at any domain count: slice
+    [s]'s keys for bucket [b] always land before slice [s + 1]'s, so the
+    output is independent of how slices are scheduled.
+
+    Float-specialized entry points ([..._floats]) are compiled
+    monomorphically: generic access to an unboxed [float array] boxes
+    every element it reads, which would put the [O(n)] allocation right
+    back.  Use them for [float array] keys. *)
+
+type 'a t = {
+  data : 'a array;
+      (** All keys, bucket-contiguous and stable within each bucket. *)
+  offsets : int array;
+      (** [p + 1] entries; bucket [b] is [data.(offsets.(b)) ..
+          data.(offsets.(b + 1) - 1)], a zero-copy view. *)
+}
+
+val num_buckets : 'a t -> int
+(** [Array.length offsets - 1]. *)
+
+val bucket_bounds : 'a t -> int -> int * int
+(** [bucket_bounds t b] is [(offset, length)] of bucket [b] inside
+    [t.data] — the zero-copy view. *)
+
+val bucket_sizes : 'a t -> int array
+(** Length of every bucket (fresh [O(p)] array). *)
+
+val bucket : 'a t -> int -> 'a array
+(** [bucket t b] copies bucket [b] out into a fresh array. *)
+
+val bucket_index : ?cmp:('a -> 'a -> int) -> 'a array -> 'a -> int
+(** [bucket_index splitters key]: smallest [i] with
+    [cmp key splitters.(i) < 0], or [Array.length splitters] when none —
+    [O(log p)] comparisons.  Splitters must be sorted. *)
+
+val bucket_index_floats : float array -> float -> int
+(** Monomorphic {!bucket_index} with [Float.compare] ordering. *)
+
+val histogram : ?cmp:('a -> 'a -> int) -> 'a array -> splitters:'a array -> int array
+(** Bucket sizes in one counting pass — no scatter, [O(p)] allocation.
+    (Generic: boxes each key read from an unboxed float array; use
+    {!histogram_floats} for floats.) *)
+
+val histogram_floats : float array -> splitters:float array -> int array
+(** Monomorphic {!histogram}. *)
+
+val partition : ?cmp:('a -> 'a -> int) -> 'a array -> splitters:'a array -> 'a t
+(** Two-pass sequential scatter.  Beyond the output [data] array, it
+    allocates two [p + 1] int arrays — nothing per key. *)
+
+val partition_floats : float array -> splitters:float array -> float t
+(** Monomorphic {!partition}: zero per-key allocation on float keys. *)
+
+val partition_pool :
+  ?cmp:('a -> 'a -> int) -> ?workers:int -> Exec.Pool.t -> 'a array -> splitters:'a array -> 'a t
+(** Pool-parallel scatter: per-worker local histograms over disjoint
+    slices, merged prefix, parallel scatter into disjoint regions.  The
+    slice geometry depends only on [Array.length keys], and the scatter
+    is stable, so the result is byte-identical to {!partition} at any
+    pool size (including a torn-down pool).  Auxiliary allocation is
+    [O(slices · p)] ints. *)
+
+val partition_floats_pool :
+  ?workers:int -> Exec.Pool.t -> float array -> splitters:float array -> float t
+(** Monomorphic {!partition_pool}. *)

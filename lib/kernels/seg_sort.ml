@@ -1,0 +1,195 @@
+(* In-place introsort over an array segment, generic and
+   float-specialized.  The two clones exist for the same reason as in
+   [Scatter]: generic access to an unboxed [float array] boxes every
+   element, so a shared polymorphic implementation would allocate O(len)
+   words per sort. *)
+
+let check_bounds name data ~lo ~len =
+  if lo < 0 || len < 0 || lo + len > Array.length data then
+    invalid_arg (name ^ ": segment out of bounds")
+
+let depth_budget len =
+  let d = ref 0 in
+  let n = ref len in
+  while !n > 1 do
+    incr d;
+    n := !n / 2
+  done;
+  2 * !d
+
+(* --- generic ----------------------------------------------------------- *)
+
+let insertion cmp data lo hi =
+  for i = lo + 1 to hi - 1 do
+    let x = data.(i) in
+    let j = ref (i - 1) in
+    while !j >= lo && cmp data.(!j) x > 0 do
+      data.(!j + 1) <- data.(!j);
+      decr j
+    done;
+    data.(!j + 1) <- x
+  done
+
+let heapsort cmp data lo hi =
+  let len = hi - lo in
+  let sift root last =
+    let r = ref root in
+    let continue = ref true in
+    while !continue do
+      let child = (2 * !r) + 1 in
+      if child > last then continue := false
+      else begin
+        let child =
+          if child + 1 <= last && cmp data.(lo + child) data.(lo + child + 1) < 0 then
+            child + 1
+          else child
+        in
+        if cmp data.(lo + !r) data.(lo + child) < 0 then begin
+          let tmp = data.(lo + !r) in
+          data.(lo + !r) <- data.(lo + child);
+          data.(lo + child) <- tmp;
+          r := child
+        end
+        else continue := false
+      end
+    done
+  in
+  for root = (len / 2) - 1 downto 0 do
+    sift root (len - 1)
+  done;
+  for last = len - 1 downto 1 do
+    let tmp = data.(lo) in
+    data.(lo) <- data.(lo + last);
+    data.(lo + last) <- tmp;
+    sift 0 (last - 1)
+  done
+
+let rec intro cmp data lo hi depth =
+  if hi - lo <= 16 then insertion cmp data lo hi
+  else if depth <= 0 then heapsort cmp data lo hi
+  else begin
+    let mid = lo + ((hi - lo) / 2) in
+    let a = data.(lo) and b = data.(mid) and c = data.(hi - 1) in
+    let pivot =
+      if cmp a b < 0 then
+        if cmp b c < 0 then b else if cmp a c < 0 then c else a
+      else if cmp a c < 0 then a
+      else if cmp b c < 0 then c
+      else b
+    in
+    (* Hoare partition: safe because [pivot] is a value of the segment,
+       so both scans stop before running off the end. *)
+    let i = ref (lo - 1) and j = ref hi in
+    let continue = ref true in
+    while !continue do
+      incr i;
+      while cmp data.(!i) pivot < 0 do
+        incr i
+      done;
+      decr j;
+      while cmp data.(!j) pivot > 0 do
+        decr j
+      done;
+      if !i >= !j then continue := false
+      else begin
+        let tmp = data.(!i) in
+        data.(!i) <- data.(!j);
+        data.(!j) <- tmp
+      end
+    done;
+    intro cmp data lo (!j + 1) (depth - 1);
+    intro cmp data (!j + 1) hi (depth - 1)
+  end
+
+let sort ?(cmp = compare) data ~lo ~len =
+  check_bounds "Seg_sort.sort" data ~lo ~len;
+  if len > 1 then intro cmp data lo (lo + len) (depth_budget len)
+
+(* --- float-specialized ------------------------------------------------- *)
+
+let insertion_f (data : float array) lo hi =
+  for i = lo + 1 to hi - 1 do
+    let x = Array.unsafe_get data i in
+    let j = ref (i - 1) in
+    while !j >= lo && Array.unsafe_get data !j > x do
+      Array.unsafe_set data (!j + 1) (Array.unsafe_get data !j);
+      decr j
+    done;
+    Array.unsafe_set data (!j + 1) x
+  done
+
+let heapsort_f (data : float array) lo hi =
+  let len = hi - lo in
+  let sift root last =
+    let r = ref root in
+    let continue = ref true in
+    while !continue do
+      let child = (2 * !r) + 1 in
+      if child > last then continue := false
+      else begin
+        let child =
+          if
+            child + 1 <= last
+            && Array.unsafe_get data (lo + child) < Array.unsafe_get data (lo + child + 1)
+          then child + 1
+          else child
+        in
+        if Array.unsafe_get data (lo + !r) < Array.unsafe_get data (lo + child) then begin
+          let tmp = Array.unsafe_get data (lo + !r) in
+          Array.unsafe_set data (lo + !r) (Array.unsafe_get data (lo + child));
+          Array.unsafe_set data (lo + child) tmp;
+          r := child
+        end
+        else continue := false
+      end
+    done
+  in
+  for root = (len / 2) - 1 downto 0 do
+    sift root (len - 1)
+  done;
+  for last = len - 1 downto 1 do
+    let tmp = Array.unsafe_get data lo in
+    Array.unsafe_set data lo (Array.unsafe_get data (lo + last));
+    Array.unsafe_set data (lo + last) tmp;
+    sift 0 (last - 1)
+  done
+
+let rec intro_f (data : float array) lo hi depth =
+  if hi - lo <= 16 then insertion_f data lo hi
+  else if depth <= 0 then heapsort_f data lo hi
+  else begin
+    let mid = lo + ((hi - lo) / 2) in
+    let a = Array.unsafe_get data lo
+    and b = Array.unsafe_get data mid
+    and c = Array.unsafe_get data (hi - 1) in
+    let pivot =
+      if a < b then if b < c then b else if a < c then c else a
+      else if a < c then a
+      else if b < c then c
+      else b
+    in
+    let i = ref (lo - 1) and j = ref hi in
+    let continue = ref true in
+    while !continue do
+      incr i;
+      while Array.unsafe_get data !i < pivot do
+        incr i
+      done;
+      decr j;
+      while Array.unsafe_get data !j > pivot do
+        decr j
+      done;
+      if !i >= !j then continue := false
+      else begin
+        let tmp = Array.unsafe_get data !i in
+        Array.unsafe_set data !i (Array.unsafe_get data !j);
+        Array.unsafe_set data !j tmp
+      end
+    done;
+    intro_f data lo (!j + 1) (depth - 1);
+    intro_f data (!j + 1) hi (depth - 1)
+  end
+
+let sort_floats data ~lo ~len =
+  check_bounds "Seg_sort.sort_floats" data ~lo ~len;
+  if len > 1 then intro_f data lo (lo + len) (depth_budget len)

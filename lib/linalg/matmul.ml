@@ -9,19 +9,27 @@ let distributed ~zones a b =
   | Error msg -> invalid_arg ("Matmul.distributed: " ^ msg));
   let result = Matrix.create ~rows:n ~cols:n in
   let per_worker = Array.make (Array.length zones) 0 in
+  (* The tiling was validated above (every zone inside [0, n)²), so the
+     rank-1 inner loops index the row-major stores directly instead of
+     paying a [Matrix.get]/[set] bounds check per flop. *)
+  let ad = Matrix.data a and bd = Matrix.data b and rd = Matrix.data result in
   (* Step k: rank-1 update with column k of A and row k of B.  Each
      worker applies the update to its own zone using only the slices it
      received, which we charge as communication. *)
   for k = 0 to n - 1 do
+    let bbase = k * n in
     Array.iteri
       (fun w z ->
         per_worker.(w) <- per_worker.(w) + Zone.half_perimeter z;
         for i = z.Zone.row0 to z.Zone.row0 + z.Zone.rows - 1 do
-          let aik = Matrix.get a i k in
-          if aik <> 0. then
+          let aik = Array.unsafe_get ad ((i * n) + k) in
+          if aik <> 0. then begin
+            let rbase = i * n in
             for j = z.Zone.col0 to z.Zone.col0 + z.Zone.cols - 1 do
-              Matrix.set result i j (Matrix.get result i j +. (aik *. Matrix.get b k j))
+              Array.unsafe_set rd (rbase + j)
+                (Array.unsafe_get rd (rbase + j) +. (aik *. Array.unsafe_get bd (bbase + j)))
             done
+          end
         done)
       zones
   done;

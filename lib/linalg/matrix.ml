@@ -29,6 +29,7 @@ let set m i j v =
   if i < 0 || i >= m.rows || j < 0 || j >= m.cols then invalid_arg "Matrix.set: out of bounds";
   m.data.((i * m.cols) + j) <- v
 
+let data m = m.data
 let copy m = { m with data = Array.copy m.data }
 
 let map2 op a b =
@@ -45,7 +46,16 @@ let map2 op a b =
 
 let add = map2 ( +. )
 let sub = map2 ( -. )
-let scale s m = { m with data = Array.map (fun x -> s *. x) m.data }
+
+let scale s m =
+  (* Same fused-loop treatment as [map2]: no closure per element. *)
+  let src = m.data in
+  let n = Array.length src in
+  let data = Array.make n 0. in
+  for i = 0 to n - 1 do
+    data.(i) <- s *. src.(i)
+  done;
+  { m with data }
 
 let transpose m =
   let rows = m.cols and cols = m.rows in
@@ -107,7 +117,15 @@ let mul_blocked ?(block = 32) a b =
 let outer a b =
   let rows = Array.length a and cols = Array.length b in
   if rows = 0 || cols = 0 then invalid_arg "Matrix.outer: empty vector";
-  init ~rows ~cols (fun i j -> a.(i) *. b.(j))
+  let data = Array.make (rows * cols) 0. in
+  for i = 0 to rows - 1 do
+    let ai = a.(i) in
+    let base = i * cols in
+    for j = 0 to cols - 1 do
+      data.(base + j) <- ai *. b.(j)
+    done
+  done;
+  { rows; cols; data }
 
 let frobenius m = sqrt (Numerics.Kahan.sum_by (fun x -> x *. x) m.data)
 

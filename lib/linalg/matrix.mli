@@ -15,6 +15,15 @@ val rows : t -> int
 val cols : t -> int
 val get : t -> int -> int -> float
 val set : t -> int -> int -> float -> unit
+
+val data : t -> float array
+(** The row-major backing store (length [rows * cols]; element [(i, j)]
+    at index [i * cols + j]), shared with the matrix — writes are
+    visible.  Exposed for the zero-allocation inner loops
+    ([Matmul.distributed], [Outer_product], [Parallel_matmul]) that
+    validate their index ranges once up front instead of paying
+    {!get}/{!set} bounds checks per flop. *)
+
 val copy : t -> t
 
 val add : t -> t -> t

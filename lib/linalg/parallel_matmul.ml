@@ -1,17 +1,46 @@
-let multiply ?domains a b =
+let multiply ?domains ?(block = 32) a b =
   if Matrix.cols a <> Matrix.rows b then
     invalid_arg "Parallel_matmul.multiply: inner dimension mismatch";
+  if block <= 0 then invalid_arg "Parallel_matmul.multiply: block must be > 0";
   let rows = Matrix.rows a and cols = Matrix.cols b and inner = Matrix.cols a in
   let c = Matrix.create ~rows ~cols in
-  (* Rows of [c] are disjoint, so per-row bodies are race-free. *)
-  Numerics.Parallel.parallel_for ?domains rows (fun i ->
-      for k = 0 to inner - 1 do
-        let aik = Matrix.get a i k in
-        if aik <> 0. then
-          for j = 0 to cols - 1 do
-            Matrix.set c i j (Matrix.get c i j +. (aik *. Matrix.get b k j))
-          done
-      done);
+  (* Dimensions are validated above and every loop below stays inside
+     them, so the inner kernel indexes the row-major stores directly. *)
+  let ad = Matrix.data a and bd = Matrix.data b and cd = Matrix.data c in
+  let band bi =
+    (* One contiguous band of [block] result rows, k-tiled.  Bands are
+       disjoint in [c], so running them from different domains is
+       race-free, and each cell sees the same k-order as the sequential
+       loop — identical floats at any domain count. *)
+    let i0 = bi * block in
+    let i1 = min rows (i0 + block) in
+    let k0 = ref 0 in
+    while !k0 < inner do
+      let k1 = min inner (!k0 + block) in
+      for i = i0 to i1 - 1 do
+        let abase = i * inner and cbase = i * cols in
+        for k = !k0 to k1 - 1 do
+          let aik = Array.unsafe_get ad (abase + k) in
+          if aik <> 0. then begin
+            let bbase = k * cols in
+            for j = 0 to cols - 1 do
+              Array.unsafe_set cd (cbase + j)
+                (Array.unsafe_get cd (cbase + j)
+                +. (aik *. Array.unsafe_get bd (bbase + j)))
+            done
+          end
+        done
+      done;
+      k0 := k1
+    done
+  in
+  let bands = (rows + block - 1) / block in
+  let d = match domains with Some d -> max 1 d | None -> Exec.Pool.default_domains () in
+  if d <= 1 || bands <= 1 then
+    for bi = 0 to bands - 1 do
+      band bi
+    done
+  else Exec.Pool.parallel_for ~workers:d (Exec.Pool.get_global ~at_least:d ()) bands band;
   c
 
 let heterogeneous_bands star ~rows =

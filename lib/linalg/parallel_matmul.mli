@@ -1,11 +1,15 @@
 (** Shared-memory parallel matrix multiplication over OCaml 5 domains:
-    the result rows are partitioned into contiguous bands, one per
-    domain — the same row-band decomposition the DLT image workload
-    uses, but executed on real cores. *)
+    the result rows are partitioned into contiguous bands of [block]
+    rows, dispatched over the persistent {!Exec.Pool} — the same
+    row-band decomposition the DLT image workload uses, but executed on
+    real cores with the cache-blocked inner kernel. *)
 
-val multiply : ?domains:int -> Matrix.t -> Matrix.t -> Matrix.t
-(** Same result as {!Matrix.mul}; [domains] defaults to the
-    recommended domain count. *)
+val multiply : ?domains:int -> ?block:int -> Matrix.t -> Matrix.t -> Matrix.t
+(** Same result as {!Matrix.mul} (identical floats at any domain count:
+    each output cell is accumulated by exactly one domain, in the same
+    k-order).  [domains] defaults to the recommended domain count;
+    [block] (default 32, must be positive) is both the row-band height
+    handed to the pool and the k-tile depth of the blocked kernel. *)
 
 val heterogeneous_bands :
   Platform.Star.t -> rows:int -> int array

@@ -22,10 +22,13 @@ let run ?s rng star ~keys =
     if Star.size star = 1 then [||]
     else Sample_sort.weighted_splitters ~cmp rng keys ~weights ~s
   in
-  let buckets = Sample_sort.partition ~cmp keys ~splitters in
-  Array.iter (Array.sort cmp) buckets.Sample_sort.contents;
-  let sorted = Array.concat (Array.to_list buckets.Sample_sort.contents) in
-  let bucket_sizes = Array.map Array.length buckets.Sample_sort.contents in
+  let flat = Kernels.Scatter.partition_floats keys ~splitters in
+  let sorted = flat.Kernels.Scatter.data in
+  for b = 0 to Kernels.Scatter.num_buckets flat - 1 do
+    let lo, len = Kernels.Scatter.bucket_bounds flat b in
+    Kernels.Seg_sort.sort_floats sorted ~lo ~len
+  done;
+  let bucket_sizes = Kernels.Scatter.bucket_sizes flat in
   let workers = Star.workers star in
   let times =
     Array.mapi

@@ -1,22 +1,14 @@
+module Scatter = Kernels.Scatter
+
 type result = { splitters : float array; bucket_sizes : int array; passes : int }
 
 (* Count, in one pass, how many keys are (strictly) below each probe.
-   Probes must be sorted; returns cumulative counts. *)
+   Probes must be sorted; returns cumulative counts.  Built on the
+   counting kernel: a histogram over the probe intervals followed by a
+   prefix sum — no scatter, O(m) allocation. *)
 let ranks keys probes =
   let m = Array.length probes in
-  let counts = Array.make (m + 1) 0 in
-  Array.iter
-    (fun key ->
-      (* Index of the first probe > key — i.e. the key's interval. *)
-      let rec search lo hi =
-        if lo >= hi then lo
-        else
-          let mid = (lo + hi) / 2 in
-          if key < probes.(mid) then search lo mid else search (mid + 1) hi
-      in
-      let interval = search 0 m in
-      counts.(interval) <- counts.(interval) + 1)
-    keys;
+  let counts = Scatter.histogram_floats keys ~splitters:probes in
   let cumulative = Array.make m 0 in
   let acc = ref 0 in
   for j = 0 to m - 1 do
@@ -25,9 +17,7 @@ let ranks keys probes =
   done;
   cumulative
 
-let bucket_sizes_of keys splitters =
-  let buckets = Sample_sort.partition ~cmp:Float.compare keys ~splitters in
-  Array.map Array.length buckets.Sample_sort.contents
+let bucket_sizes_of keys splitters = Scatter.histogram_floats keys ~splitters
 
 let splitters ?(tolerance = 0.02) ?(max_passes = 64) keys ~p =
   if Array.length keys = 0 then invalid_arg "Histogram_sort.splitters: empty input";
@@ -76,9 +66,13 @@ let sort ?tolerance keys ~p =
   if Array.length keys = 0 then [||]
   else begin
     let { splitters = s; _ } = splitters ?tolerance keys ~p in
-    let buckets = Sample_sort.partition ~cmp:Float.compare keys ~splitters:s in
-    Array.iter (Array.sort Float.compare) buckets.Sample_sort.contents;
-    Array.concat (Array.to_list buckets.Sample_sort.contents)
+    let flat = Scatter.partition_floats keys ~splitters:s in
+    let data = flat.Scatter.data in
+    for b = 0 to Scatter.num_buckets flat - 1 do
+      let lo, len = Scatter.bucket_bounds flat b in
+      Kernels.Seg_sort.sort_floats data ~lo ~len
+    done;
+    data
   end
 
 let max_bucket_ratio result =

@@ -1,4 +1,6 @@
 module Rng = Numerics.Rng
+module Scatter = Kernels.Scatter
+module Seg_sort = Kernels.Seg_sort
 
 let sort ?domains ?s rng keys ~p =
   if p < 1 then invalid_arg "Multicore.sort: p must be >= 1";
@@ -12,13 +14,25 @@ let sort ?domains ?s rng keys ~p =
   else begin
     let s = match s with Some s -> s | None -> Sample_sort.default_oversampling ~n in
     let splitters = Sample_sort.choose_splitters ~cmp:Float.compare rng keys ~p ~s in
-    let buckets = Sample_sort.partition ~cmp:Float.compare keys ~splitters in
-    let contents = buckets.Sample_sort.contents in
-    (* Phase 3 in parallel: buckets are disjoint arrays, so sorting them
-       from different domains is race-free. *)
-    Numerics.Parallel.parallel_for ?domains (Array.length contents) (fun b ->
-        Array.sort Float.compare contents.(b));
-    Array.concat (Array.to_list contents)
+    let d = match domains with Some d -> max 1 d | None -> Exec.Pool.default_domains () in
+    (* Phase 2 through the counting scatter kernel: stable, so the pool
+       variant is byte-identical to the sequential one at any domain
+       count. *)
+    let flat =
+      if d <= 1 then Scatter.partition_floats keys ~splitters
+      else
+        Scatter.partition_floats_pool ~workers:d
+          (Exec.Pool.get_global ~at_least:d ())
+          keys ~splitters
+    in
+    let data = flat.Scatter.data in
+    (* Phase 3 in parallel: bucket segments are disjoint slices of [data],
+       so sorting them from different domains is race-free — and the flat
+       array is already in bucket order, so no final concat. *)
+    Numerics.Parallel.parallel_for ?domains (Scatter.num_buckets flat) (fun b ->
+        let lo, len = Scatter.bucket_bounds flat b in
+        Seg_sort.sort_floats data ~lo ~len);
+    data
   end
 
 (* Monotonic clock (ns): wall-clock [Unix.gettimeofday] is subject to
@@ -28,15 +42,28 @@ let time f =
   let result = f () in
   (result, Int64.to_float (Int64.sub (Monotonic_clock.now ()) t0) /. 1e9)
 
-let speedup ?domains rng ~n ~p =
+let median samples =
+  let sorted = Array.copy samples in
+  Array.sort Float.compare sorted;
+  sorted.(Array.length sorted / 2)
+
+let speedup ?domains ?(trials = 3) rng ~n ~p =
+  if trials < 1 then invalid_arg "Multicore.speedup: trials must be >= 1";
   let keys = Array.init n (fun _ -> Rng.float rng) in
-  (* Warm the shared pool so the parallel run is not charged the one-off
-     domain-spawn cost. *)
+  (* Warm the shared pool so the parallel runs are not charged the
+     one-off domain-spawn cost. *)
   Numerics.Parallel.warm_up ?domains ();
-  let sequential_rng = Rng.copy rng in
-  let _, sequential =
-    time (fun () -> sort ~domains:1 sequential_rng keys ~p)
-  in
-  let parallel_rng = Rng.copy rng in
-  let _, parallel = time (fun () -> sort ?domains parallel_rng keys ~p) in
+  (* One untimed warm-up of each variant (cold caches would otherwise
+     penalize whichever variant runs first), then interleaved trials so
+     drift — thermal, competing load — hits both variants equally. *)
+  ignore (sort ~domains:1 (Rng.copy rng) keys ~p);
+  ignore (sort ?domains (Rng.copy rng) keys ~p);
+  let seq = Array.make trials 0. and par = Array.make trials 0. in
+  for t = 0 to trials - 1 do
+    let _, s = time (fun () -> sort ~domains:1 (Rng.copy rng) keys ~p) in
+    seq.(t) <- s;
+    let _, q = time (fun () -> sort ?domains (Rng.copy rng) keys ~p) in
+    par.(t) <- q
+  done;
+  let sequential = median seq and parallel = median par in
   (sequential, parallel, sequential /. parallel)

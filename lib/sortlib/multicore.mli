@@ -12,8 +12,11 @@ val sort :
     affects timing only, never the output. *)
 
 val speedup :
-  ?domains:int -> Numerics.Rng.t -> n:int -> p:int -> float * float * float
+  ?domains:int -> ?trials:int -> Numerics.Rng.t -> n:int -> p:int -> float * float * float
 (** Measure [(sequential seconds, parallel seconds, speedup)] on a
     fresh random array of size [n] — used by the bench harness.  Times
-    come from the monotonic clock, and the shared domain pool is warmed
-    up before the first measurement so spawn cost is not counted. *)
+    come from the monotonic clock; the shared domain pool is warmed up
+    and one untimed run of each variant precedes measurement, then
+    [trials] (default 3, at least 1) sequential/parallel pairs are timed
+    {e interleaved} and the median of each side is reported — so neither
+    variant is systematically charged cold caches or load drift. *)

@@ -21,19 +21,22 @@ let sort keys ~p =
           chunk)
         chunk_sizes
     in
-    (* Regular samples: p from each non-empty chunk. *)
-    let samples = ref [] in
+    (* Regular samples: p from each non-empty chunk, written into a
+       preallocated p*p array (chunks are only empty when n < p, so [m]
+       tracks how much of it is live). *)
+    let samples = Array.make (p * p) 0. in
+    let m = ref 0 in
     Array.iter
       (fun chunk ->
         let size = Array.length chunk in
         if size > 0 then
           for j = 0 to p - 1 do
-            samples := chunk.(j * size / p) :: !samples
+            samples.(!m) <- chunk.(j * size / p);
+            incr m
           done)
       chunks;
-    let samples = Array.of_list !samples in
-    Array.sort Float.compare samples;
-    let m = Array.length samples in
+    let m = !m in
+    Kernels.Seg_sort.sort_floats samples ~lo:0 ~len:m;
     let splitters =
       if p = 1 then [||]
       else

@@ -37,25 +37,18 @@ let weighted_splitters ?(cmp = compare) rng keys ~weights ~s =
       in
       sample.(min (max rank 0) (sample_size - 1)))
 
-let bucket_index ?(cmp = compare) splitters key =
-  (* Smallest i with key < splitters.(i); p-1 when none. *)
-  let rec search lo hi =
-    if lo >= hi then lo
-    else
-      let mid = (lo + hi) / 2 in
-      if cmp key splitters.(mid) < 0 then search lo mid else search (mid + 1) hi
-  in
-  search 0 (Array.length splitters)
+let bucket_index = Kernels.Scatter.bucket_index
+
+let partition_flat ?cmp keys ~splitters = Kernels.Scatter.partition ?cmp keys ~splitters
 
 let partition ?(cmp = compare) keys ~splitters =
-  let p = Array.length splitters + 1 in
-  let cells = Array.make p [] in
-  Array.iter
-    (fun key ->
-      let b = bucket_index ~cmp splitters key in
-      cells.(b) <- key :: cells.(b))
-    keys;
-  let contents = Array.map (fun cell -> Array.of_list (List.rev cell)) cells in
+  (* Compatibility view over the flat counting kernel: same contents in
+     the same (stable) order as the original cons-per-key path, but the
+     only per-bucket allocation is the [Array.sub] copy-out. *)
+  let flat = partition_flat ~cmp keys ~splitters in
+  let contents =
+    Array.init (Kernels.Scatter.num_buckets flat) (fun b -> Kernels.Scatter.bucket flat b)
+  in
   { splitters; contents }
 
 let sort ?(cmp = compare) ?s rng keys ~p =
@@ -69,9 +62,13 @@ let sort ?(cmp = compare) ?s rng keys ~p =
   else begin
     let s = match s with Some s -> s | None -> default_oversampling ~n:(Array.length keys) in
     let splitters = choose_splitters ~cmp rng keys ~p ~s in
-    let { contents; _ } = partition ~cmp keys ~splitters in
-    Array.iter (Array.sort cmp) contents;
-    Array.concat (Array.to_list contents)
+    let flat = partition_flat ~cmp keys ~splitters in
+    let data = flat.Kernels.Scatter.data in
+    for b = 0 to Kernels.Scatter.num_buckets flat - 1 do
+      let lo, len = Kernels.Scatter.bucket_bounds flat b in
+      Kernels.Seg_sort.sort ~cmp data ~lo ~len
+    done;
+    data
   end
 
 let max_bucket_ratio buckets =

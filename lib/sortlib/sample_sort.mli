@@ -42,8 +42,17 @@ val bucket_index : ?cmp:('a -> 'a -> int) -> 'a array -> 'a -> int
 (** [bucket_index splitters key]: the bucket of [key], by binary search
     — [O(log p)] comparisons (phase 2's [N log p] master cost). *)
 
+val partition_flat :
+  ?cmp:('a -> 'a -> int) -> 'a array -> splitters:'a array -> 'a Kernels.Scatter.t
+(** Phase 2 on the counting kernel: all keys scattered, stably, into one
+    bucket-contiguous array with an offset table as a zero-copy view —
+    [O(p)] auxiliary allocation instead of a cons cell per key.  This is
+    the hot path; see {!Kernels.Scatter}. *)
+
 val partition : ?cmp:('a -> 'a -> int) -> 'a array -> splitters:'a array -> 'a buckets
-(** Phase 2: route all keys. *)
+(** Phase 2: route all keys.  Compatibility wrapper over
+    {!partition_flat} that copies each bucket out into its own array;
+    bucket contents are in input order (stable), as before. *)
 
 val sort :
   ?cmp:('a -> 'a -> int) ->

@@ -1,0 +1,327 @@
+(* The scatter/partition kernel layer (lib/kernels): permutation and
+   splitter-boundary invariants, byte-identity with the historical
+   list-based partition, 1-vs-N pool-domain identity (domains forced >= 2
+   — CI/dev hosts may report a single core), segment sorting, and the
+   O(p)-auxiliary-allocation contract via Gc counters. *)
+
+module Scatter = Kernels.Scatter
+module Seg_sort = Kernels.Seg_sort
+module Sample_sort = Sortlib.Sample_sort
+module Rng = Numerics.Rng
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let is_sorted cmp a =
+  let ok = ref true in
+  for i = 0 to Array.length a - 2 do
+    if cmp a.(i) a.(i + 1) > 0 then ok := false
+  done;
+  !ok
+
+let multiset_equal a b =
+  let a = Array.copy a and b = Array.copy b in
+  Array.sort compare a;
+  Array.sort compare b;
+  a = b
+
+(* The pre-kernel implementation of [Sample_sort.partition]: a cons cell
+   per key, [List.rev] per bucket — kept here as the byte-identity
+   reference (the kernel's stable scatter must reproduce it exactly). *)
+let list_based_partition ~cmp keys ~splitters =
+  let p = Array.length splitters + 1 in
+  let cells = Array.make p [] in
+  Array.iter
+    (fun key ->
+      let b = Scatter.bucket_index ~cmp splitters key in
+      cells.(b) <- key :: cells.(b))
+    keys;
+  Array.map (fun cell -> Array.of_list (List.rev cell)) cells
+
+let float_keys ~seed n =
+  let rng = Rng.create ~seed () in
+  Array.init n (fun _ -> Rng.float rng)
+
+let float_splitters ~seed keys ~p =
+  Sample_sort.choose_splitters ~cmp:Float.compare (Rng.create ~seed ()) keys ~p ~s:32
+
+(* --- partition invariants ---------------------------------------------- *)
+
+let test_partition_permutation () =
+  let keys = float_keys ~seed:1 5_000 in
+  let splitters = float_splitters ~seed:2 keys ~p:8 in
+  let flat = Scatter.partition_floats keys ~splitters in
+  checkb "data is a permutation of the input" true (multiset_equal keys flat.Scatter.data);
+  checki "offsets span" (Array.length keys) flat.Scatter.offsets.(Scatter.num_buckets flat);
+  checki "num buckets" 8 (Scatter.num_buckets flat);
+  let monotone = ref true in
+  for b = 0 to Scatter.num_buckets flat - 1 do
+    if flat.Scatter.offsets.(b) > flat.Scatter.offsets.(b + 1) then monotone := false
+  done;
+  checkb "offsets monotone" true !monotone
+
+let test_partition_respects_splitters () =
+  let keys = float_keys ~seed:3 5_000 in
+  let splitters = float_splitters ~seed:4 keys ~p:8 in
+  let flat = Scatter.partition_floats keys ~splitters in
+  for b = 0 to Scatter.num_buckets flat - 1 do
+    let lo, len = Scatter.bucket_bounds flat b in
+    for i = lo to lo + len - 1 do
+      let key = flat.Scatter.data.(i) in
+      if b > 0 then checkb "above previous splitter" true (key >= splitters.(b - 1));
+      if b < Array.length splitters then checkb "below own splitter" true (key < splitters.(b))
+    done
+  done
+
+let test_partition_matches_list_based () =
+  let keys = float_keys ~seed:5 10_000 in
+  let splitters = float_splitters ~seed:6 keys ~p:16 in
+  let reference = list_based_partition ~cmp:Float.compare keys ~splitters in
+  let flat = Scatter.partition_floats keys ~splitters in
+  Alcotest.(check (array (float 0.)))
+    "flat data = reference concat"
+    (Array.concat (Array.to_list reference))
+    flat.Scatter.data;
+  Array.iteri
+    (fun b bucket ->
+      Alcotest.(check (array (float 0.)))
+        (Printf.sprintf "bucket %d" b)
+        bucket (Scatter.bucket flat b))
+    reference;
+  (* The generic kernel and the [Sample_sort.partition] compatibility
+     wrapper reproduce the same bytes. *)
+  let generic = Scatter.partition ~cmp:Float.compare keys ~splitters in
+  Alcotest.(check (array (float 0.))) "generic = float kernel" flat.Scatter.data
+    generic.Scatter.data;
+  let compat = Sample_sort.partition ~cmp:Float.compare keys ~splitters in
+  Array.iteri
+    (fun b bucket ->
+      Alcotest.(check (array (float 0.)))
+        (Printf.sprintf "compat bucket %d" b)
+        bucket compat.Sample_sort.contents.(b))
+    reference
+
+let test_partition_generic_ints () =
+  let rng = Rng.create ~seed:7 () in
+  let keys = Array.init 4_000 (fun _ -> Rng.int rng 1_000) in
+  let splitters = [| 100; 250; 500; 900 |] in
+  let reference = list_based_partition ~cmp:Int.compare keys ~splitters in
+  let flat = Scatter.partition ~cmp:Int.compare keys ~splitters in
+  Alcotest.(check (array int))
+    "generic int data = reference concat"
+    (Array.concat (Array.to_list reference))
+    flat.Scatter.data;
+  Alcotest.(check (array int)) "bucket sizes" (Array.map Array.length reference)
+    (Scatter.bucket_sizes flat)
+
+let test_partition_empty_and_degenerate () =
+  let flat = Scatter.partition_floats [||] ~splitters:[| 0.5 |] in
+  checki "empty data" 0 (Array.length flat.Scatter.data);
+  Alcotest.(check (array int)) "empty offsets" [| 0; 0; 0 |] flat.Scatter.offsets;
+  (* No splitters: everything lands in the single bucket, input order. *)
+  let keys = [| 3.; 1.; 2. |] in
+  let one = Scatter.partition_floats keys ~splitters:[||] in
+  Alcotest.(check (array (float 0.))) "single bucket keeps order" keys one.Scatter.data
+
+let test_histogram_matches_partition () =
+  let keys = float_keys ~seed:8 20_000 in
+  let splitters = float_splitters ~seed:9 keys ~p:12 in
+  let flat = Scatter.partition_floats keys ~splitters in
+  Alcotest.(check (array int)) "float histogram = bucket sizes" (Scatter.bucket_sizes flat)
+    (Scatter.histogram_floats keys ~splitters);
+  Alcotest.(check (array int)) "generic histogram agrees" (Scatter.bucket_sizes flat)
+    (Scatter.histogram ~cmp:Float.compare keys ~splitters)
+
+let test_bucket_index_floats_agrees () =
+  let keys = float_keys ~seed:10 2_000 in
+  let splitters = float_splitters ~seed:11 keys ~p:9 in
+  Array.iter
+    (fun key ->
+      checki "monomorphic = generic bucket index"
+        (Scatter.bucket_index ~cmp:Float.compare splitters key)
+        (Scatter.bucket_index_floats splitters key))
+    keys
+
+(* --- pool-parallel identity -------------------------------------------- *)
+
+let test_pool_partition_identical_any_domains () =
+  (* Large enough that the pool variant really slices (n >= 16384), and
+     domains forced >= 2: the host may report a single core, and a
+     1-domain pool would degrade to the sequential path we are trying to
+     compare against. *)
+  let keys = float_keys ~seed:12 60_000 in
+  let splitters = float_splitters ~seed:13 keys ~p:16 in
+  let sequential = Scatter.partition_floats keys ~splitters in
+  List.iter
+    (fun domains ->
+      let pool = Exec.Pool.create ~domains () in
+      let parallel = Scatter.partition_floats_pool pool keys ~splitters in
+      Exec.Pool.teardown pool;
+      Alcotest.(check (array (float 0.)))
+        (Printf.sprintf "float data identical at %d domains" domains)
+        sequential.Scatter.data parallel.Scatter.data;
+      Alcotest.(check (array int))
+        (Printf.sprintf "offsets identical at %d domains" domains)
+        sequential.Scatter.offsets parallel.Scatter.offsets)
+    [ 1; 2; 3 ]
+
+let test_pool_partition_generic_identical () =
+  let rng = Rng.create ~seed:14 () in
+  let keys = Array.init 40_000 (fun _ -> Rng.int rng 10_000) in
+  let splitters = [| 1_000; 3_000; 7_500 |] in
+  let sequential = Scatter.partition ~cmp:Int.compare keys ~splitters in
+  let pool = Exec.Pool.create ~domains:3 () in
+  let parallel = Scatter.partition_pool ~cmp:Int.compare pool keys ~splitters in
+  Exec.Pool.teardown pool;
+  Alcotest.(check (array int)) "generic pool data identical" sequential.Scatter.data
+    parallel.Scatter.data;
+  Alcotest.(check (array int)) "generic pool offsets identical" sequential.Scatter.offsets
+    parallel.Scatter.offsets
+
+let test_multicore_sort_identical_forced_domains () =
+  let keys = float_keys ~seed:15 50_000 in
+  let reference = Array.copy keys in
+  Array.sort Float.compare reference;
+  List.iter
+    (fun domains ->
+      let out = Sortlib.Multicore.sort ~domains (Rng.create ~seed:16 ()) keys ~p:8 in
+      Alcotest.(check (array (float 0.)))
+        (Printf.sprintf "multicore sort at %d domains" domains)
+        reference out)
+    [ 1; 2; 3 ]
+
+(* --- segment sort ------------------------------------------------------ *)
+
+let test_seg_sort_floats () =
+  let keys = float_keys ~seed:17 2_000 in
+  let data = Array.copy keys in
+  let lo = 137 and len = 1_200 in
+  Seg_sort.sort_floats data ~lo ~len;
+  let expected =
+    let seg = Array.sub keys lo len in
+    Array.sort Float.compare seg;
+    seg
+  in
+  Alcotest.(check (array (float 0.))) "segment sorted" expected (Array.sub data lo len);
+  Alcotest.(check (array (float 0.))) "prefix untouched" (Array.sub keys 0 lo)
+    (Array.sub data 0 lo);
+  Alcotest.(check (array (float 0.)))
+    "suffix untouched"
+    (Array.sub keys (lo + len) (Array.length keys - lo - len))
+    (Array.sub data (lo + len) (Array.length data - lo - len))
+
+let test_seg_sort_adversarial () =
+  List.iter
+    (fun (name, data) ->
+      let expected = Array.copy data in
+      Array.sort Float.compare expected;
+      Seg_sort.sort_floats data ~lo:0 ~len:(Array.length data);
+      Alcotest.(check (array (float 0.))) name expected data)
+    [
+      ("all equal", Array.make 5_000 1.);
+      ("already sorted", Array.init 5_000 float_of_int);
+      ("reverse sorted", Array.init 5_000 (fun i -> float_of_int (5_000 - i)));
+      ("two values", Array.init 5_000 (fun i -> float_of_int (i mod 2)));
+      ("empty", [||]);
+      ("singleton", [| 42. |]);
+    ]
+
+let test_seg_sort_bounds_checked () =
+  let data = [| 1.; 2.; 3. |] in
+  Alcotest.check_raises "negative lo" (Invalid_argument "Seg_sort.sort_floats: segment out of bounds")
+    (fun () -> Seg_sort.sort_floats data ~lo:(-1) ~len:2);
+  Alcotest.check_raises "overrun" (Invalid_argument "Seg_sort.sort_floats: segment out of bounds")
+    (fun () -> Seg_sort.sort_floats data ~lo:2 ~len:2)
+
+let qcheck_seg_sort_generic =
+  QCheck.Test.make ~name:"generic segment sort matches Array.sort" ~count:200
+    QCheck.(
+      triple
+        (array_of_size Gen.(int_range 0 200) (int_range (-500) 500))
+        small_nat small_nat)
+    (fun (keys, a, b) ->
+      let n = Array.length keys in
+      let lo = if n = 0 then 0 else a mod (n + 1) in
+      let len = if n - lo = 0 then 0 else b mod (n - lo + 1) in
+      let data = Array.copy keys in
+      Seg_sort.sort ~cmp:Int.compare data ~lo ~len;
+      let expected =
+        let out = Array.copy keys in
+        let seg = Array.sub keys lo len in
+        Array.sort Int.compare seg;
+        Array.blit seg 0 out lo len;
+        out
+      in
+      data = expected)
+
+(* --- allocation contract ----------------------------------------------- *)
+
+let minor_words_of f =
+  Gc.full_major ();
+  let before = Gc.minor_words () in
+  f ();
+  Gc.minor_words () -. before
+
+let test_partition_allocation_o_p () =
+  let n = 200_000 in
+  let keys = float_keys ~seed:18 n in
+  let splitters = float_splitters ~seed:19 keys ~p:16 in
+  (* Warm-up so one-time setup is not charged. *)
+  ignore (Scatter.partition_floats keys ~splitters);
+  ignore (list_based_partition ~cmp:Float.compare keys ~splitters);
+  let kernel = minor_words_of (fun () -> ignore (Scatter.partition_floats keys ~splitters)) in
+  let legacy =
+    minor_words_of (fun () -> ignore (list_based_partition ~cmp:Float.compare keys ~splitters))
+  in
+  (* The counting kernel's output array goes straight to the major heap
+     (> Max_young_wosize), so its minor-heap footprint is the O(p)
+     auxiliary state only; the cons-per-key path burns O(n) words. *)
+  checkb
+    (Printf.sprintf "kernel minor words O(p), not O(n): %.0f for n=%d" kernel n)
+    true
+    (kernel < float_of_int n /. 4.);
+  checkb
+    (Printf.sprintf "list-based reference is O(n): %.0f for n=%d" legacy n)
+    true
+    (legacy > float_of_int n);
+  (* And phase 3 on the flat array: in-place segment sort allocates
+     nothing per element either. *)
+  let flat = Scatter.partition_floats keys ~splitters in
+  let sort_alloc =
+    minor_words_of (fun () ->
+        for b = 0 to Scatter.num_buckets flat - 1 do
+          let lo, len = Scatter.bucket_bounds flat b in
+          Seg_sort.sort_floats flat.Scatter.data ~lo ~len
+        done)
+  in
+  checkb
+    (Printf.sprintf "segment sorts allocation-free: %.0f words" sort_alloc)
+    true
+    (sort_alloc < float_of_int n /. 4.)
+
+let suites =
+  [
+    ( "scatter kernel",
+      [
+        Alcotest.test_case "permutation + offsets" `Quick test_partition_permutation;
+        Alcotest.test_case "respects splitters" `Quick test_partition_respects_splitters;
+        Alcotest.test_case "byte-identical to list-based" `Quick test_partition_matches_list_based;
+        Alcotest.test_case "generic ints" `Quick test_partition_generic_ints;
+        Alcotest.test_case "empty and degenerate" `Quick test_partition_empty_and_degenerate;
+        Alcotest.test_case "histogram = bucket sizes" `Quick test_histogram_matches_partition;
+        Alcotest.test_case "bucket_index_floats agrees" `Quick test_bucket_index_floats_agrees;
+        Alcotest.test_case "pool identical at any domain count" `Quick
+          test_pool_partition_identical_any_domains;
+        Alcotest.test_case "pool identical (generic)" `Quick test_pool_partition_generic_identical;
+        Alcotest.test_case "multicore sort, forced domains" `Quick
+          test_multicore_sort_identical_forced_domains;
+        Alcotest.test_case "O(p) auxiliary allocation" `Quick test_partition_allocation_o_p;
+      ] );
+    ( "segment sort",
+      [
+        Alcotest.test_case "sorts a segment in place" `Quick test_seg_sort_floats;
+        Alcotest.test_case "adversarial inputs" `Quick test_seg_sort_adversarial;
+        Alcotest.test_case "bounds checked" `Quick test_seg_sort_bounds_checked;
+        QCheck_alcotest.to_alcotest qcheck_seg_sort_generic;
+      ] );
+  ]
