@@ -14,14 +14,11 @@
    speedup, Fig. 4 domain-scaling) so the perf trajectory is tracked
    across PRs. *)
 
-(* The raw ns clock from bechamel.monotonic_clock; aliased before the
-   opens because Toolkit shadows the module name. *)
-module Mclock = Monotonic_clock
-
 open Bechamel
 open Toolkit
 
-let quick = Array.exists (fun a -> a = "--quick") Sys.argv
+let flag_present f = Array.exists (fun a -> a = f) Sys.argv
+let quick = flag_present "--quick"
 
 (* [--check-alloc PATH]: after measuring, diff the per-kernel allocation
    counters against the committed baseline and exit non-zero on >10%
@@ -37,10 +34,19 @@ let arg_value flag =
 let check_alloc_path = arg_value "--check-alloc"
 let write_alloc_path = arg_value "--write-alloc-baseline"
 
-let elapsed_s f =
-  let t0 = Mclock.now () in
-  let result = f () in
-  (result, Int64.to_float (Int64.sub (Mclock.now ()) t0) /. 1e9)
+(* [--trace [FILE]]: record Obs spans for the whole run and write a
+   Chrome trace-event JSON.  [--metrics]: enable the metrics registry
+   and embed the merged snapshot in BENCH_results.json. *)
+let trace_path =
+  if flag_present "--trace" then
+    match arg_value "--trace" with
+    | Some v when String.length v > 0 && v.[0] <> '-' -> Some v
+    | _ -> Some "bench_trace.json"
+  else None
+
+let metrics_on = flag_present "--metrics"
+
+let elapsed_s = Obs.Clock.elapsed_s
 
 (* --- Part 1: Bechamel micro-benchmarks --------------------------------- *)
 
@@ -181,12 +187,12 @@ let report_multicore () =
     "\nMulticore sample sort (N=5e5, p=16, %d domains): %.3fs sequential, %.3fs parallel \
      (speedup %.2fx)\n%!"
     domains seq par speedup;
-  Json_out.Obj
+  Obs.Json.Obj
     [
-      ("domains", Json_out.Int domains);
-      ("sequential_s", Json_out.Float seq);
-      ("parallel_s", Json_out.Float par);
-      ("speedup", Json_out.Float speedup);
+      ("domains", Obs.Json.Int domains);
+      ("sequential_s", Obs.Json.Float seq);
+      ("parallel_s", Obs.Json.Float par);
+      ("speedup", Obs.Json.Float speedup);
     ]
 
 let report_pool_overhead () =
@@ -217,13 +223,13 @@ let report_pool_overhead () =
      spawn-per-call (%.1fx less)\n%!"
     d iters (pool_ns /. 1e3) (spawn_ns /. 1e3)
     (spawn_ns /. pool_ns);
-  Json_out.Obj
+  Obs.Json.Obj
     [
-      ("domains", Json_out.Int d);
-      ("iterations", Json_out.Int iters);
-      ("pool_ns_per_call", Json_out.Float pool_ns);
-      ("spawn_ns_per_call", Json_out.Float spawn_ns);
-      ("overhead_ratio", Json_out.Float (spawn_ns /. pool_ns));
+      ("domains", Obs.Json.Int d);
+      ("iterations", Obs.Json.Int iters);
+      ("pool_ns_per_call", Obs.Json.Float pool_ns);
+      ("spawn_ns_per_call", Obs.Json.Float spawn_ns);
+      ("overhead_ratio", Obs.Json.Float (spawn_ns /. pool_ns));
     ]
 
 let report_fig4_scaling () =
@@ -270,19 +276,19 @@ let report_fig4_scaling () =
   Numerics.Ascii_table.print table;
   if not identical then
     Printf.printf "WARNING: Fig. 4 output changed with the domain count!\n%!";
-  Json_out.Obj
+  Obs.Json.Obj
     [
-      ("trials", Json_out.Int trials);
-      ("outputs_identical", Json_out.Bool identical);
+      ("trials", Obs.Json.Int trials);
+      ("outputs_identical", Obs.Json.Bool identical);
       ( "runs",
-        Json_out.List
+        Obs.Json.List
           (List.map
              (fun (d, seconds, _) ->
-               Json_out.Obj
+               Obs.Json.Obj
                  [
-                   ("domains", Json_out.Int d);
-                   ("seconds", Json_out.Float seconds);
-                   ("speedup", Json_out.Float (base_seconds /. seconds));
+                   ("domains", Obs.Json.Int d);
+                   ("seconds", Obs.Json.Float seconds);
+                   ("speedup", Obs.Json.Float (base_seconds /. seconds));
                  ])
              runs) );
     ]
@@ -358,12 +364,12 @@ let report_allocations () =
   in
   Numerics.Ascii_table.print table;
   let json =
-    Json_out.Obj
+    Obs.Json.Obj
       (List.map
          (fun (name, minor, major) ->
            ( name,
-             Json_out.Obj
-               [ ("minor_words", Json_out.Float minor); ("major_words", Json_out.Float major) ]
+             Obs.Json.Obj
+               [ ("minor_words", Obs.Json.Float minor); ("major_words", Obs.Json.Float major) ]
            ))
          measured)
   in
@@ -551,6 +557,8 @@ let run_ablation () =
 let () =
   Printf.printf "nldl bench harness (version %s)%s\n%!" Core.version
     (if quick then " [quick mode]" else "");
+  if trace_path <> None then Obs.Trace.set_enabled true;
+  if metrics_on then Obs.Metrics.set_enabled true;
   let kernels = run_micro_benchmarks () in
   let multicore = report_multicore () in
   let pool = report_pool_overhead () in
@@ -566,20 +574,30 @@ let () =
   run_e4 ();
   run_ablation ();
   let json =
-    Json_out.Obj
-      [
-        ("version", Json_out.String Core.version);
-        ("quick", Json_out.Bool quick);
-        ( "kernels_ns_per_run",
-          Json_out.Obj (List.map (fun (name, ns) -> (name, Json_out.Float ns)) kernels) );
-        ("pool_overhead", pool);
-        ("multicore_sort", multicore);
-        ("fig4_scaling", fig4_scaling);
-        ("allocations", allocations);
-      ]
+    Obs.Json.Obj
+      ([
+         ("version", Obs.Json.String Core.version);
+         ("quick", Obs.Json.Bool quick);
+         ( "kernels_ns_per_run",
+           Obs.Json.Obj (List.map (fun (name, ns) -> (name, Obs.Json.Float ns)) kernels) );
+         ("pool_overhead", pool);
+         ("multicore_sort", multicore);
+         ("fig4_scaling", fig4_scaling);
+         ("allocations", allocations);
+       ]
+      @ if metrics_on then [ ("metrics", Obs.Export.metrics_json ()) ] else [])
   in
-  Json_out.write_file "BENCH_results.json" json;
+  Obs.Json.write_file "BENCH_results.json" json;
   Printf.printf "\nWrote BENCH_results.json\n%!";
+  (match trace_path with
+  | None -> ()
+  | Some path ->
+      Obs.Trace.set_enabled false;
+      Obs.Export.write_trace path;
+      let dropped = Obs.Trace.dropped () in
+      if dropped > 0 then
+        Printf.printf "Trace ring buffers dropped %d events (oldest overwritten)\n%!" dropped;
+      Printf.printf "Wrote trace to %s\n%!" path);
   let alloc_ok =
     match check_alloc_path with
     | Some path -> check_alloc_baseline path alloc_measured

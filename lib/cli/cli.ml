@@ -24,8 +24,58 @@ let verbosity =
 
 let logs_term = Term.(const setup_logs $ (const List.length $ verbosity))
 
-(* Run the logging setup before the actual command body. *)
-let wrap term = Term.(const (fun () result -> result) $ logs_term $ term)
+(* Observability: --trace FILE records spans during the command body and
+   writes a Chrome trace-event JSON (Perfetto / about://tracing);
+   --metrics[=FILE] enables the metrics registry and dumps the merged
+   snapshot to FILE, or to stdout for "-" (the default when the flag is
+   given bare). *)
+let trace_file =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:"Record runtime spans and write a Chrome trace-event JSON to $(docv).")
+
+let metrics_file =
+  Arg.(
+    value
+    & opt ~vopt:(Some "-") (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:"Collect runtime metrics; write the snapshot to $(docv) (\"-\" = stdout).")
+
+let setup_obs trace metrics =
+  if trace <> None then Obs.Trace.set_enabled true;
+  if metrics <> None then Obs.Metrics.set_enabled true;
+  (trace, metrics)
+
+let finish_obs (trace, metrics) =
+  (match trace with
+  | None -> ()
+  | Some path ->
+      Obs.Trace.set_enabled false;
+      Obs.Export.write_trace path;
+      let dropped = Obs.Trace.dropped () in
+      if dropped > 0 then
+        Printf.eprintf "nldl: trace ring buffers dropped %d events\n%!" dropped;
+      Printf.eprintf "Trace written to %s\n%!" path);
+  match metrics with
+  | None -> ()
+  | Some "-" -> print_endline (Obs.Json.to_string (Obs.Export.metrics_json ()))
+  | Some path ->
+      Obs.Export.write_metrics path;
+      Printf.eprintf "Metrics written to %s\n%!" path
+
+let obs_term = Term.(const setup_obs $ trace_file $ metrics_file)
+
+(* Run the logging and observability setup before the actual command
+   body (cmdliner evaluates [$] arguments left to right), then flush
+   the trace/metrics files after it returns. *)
+let wrap term =
+  Term.(
+    const (fun () obs result ->
+        finish_obs obs;
+        result)
+    $ logs_term $ obs_term $ term)
 
 let profile_arg =
   let parse s =

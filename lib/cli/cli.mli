@@ -3,7 +3,9 @@
 
 val command : unit Cmdliner.Cmd.t
 (** The full command group: fig4 | nonlinear | sort | ratio | partition
-    | mapreduce | time | ablations, each with a [-v] logging flag. *)
+    | mapreduce | time | ablations, each with a [-v] logging flag plus
+    [--trace FILE] (Chrome trace-event JSON of the run's spans) and
+    [--metrics[=FILE]] (merged metrics snapshot). *)
 
 val run : unit -> int
 (** Evaluate [Sys.argv] and return the exit code. *)

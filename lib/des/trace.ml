@@ -59,3 +59,28 @@ let render_gantt ?(width = 72) t =
   Buffer.add_string buf
     (Printf.sprintf "%-*s  0%*s%.4g\n" name_width "t" (width - 1) "" t.makespan);
   Buffer.contents buf
+
+(* Render through the same Chrome trace-event builders as the runtime
+   tracer, one Perfetto thread row per resource.  Simulated time is
+   unitless; one simulated time unit maps to one second (1e6 µs) so
+   short schedules stay readable in the viewer. *)
+let to_chrome t =
+  let tids = List.mapi (fun i r -> (r, i + 1)) (resources t) in
+  let metadata =
+    Obs.Export.process_name "nldl.sim"
+    :: List.map (fun (r, tid) -> Obs.Export.thread_name ~tid r) tids
+  in
+  let body =
+    List.concat_map
+      (fun (r, tid) ->
+        List.map
+          (fun iv ->
+            let name = if iv.label = "" then r else iv.label in
+            Obs.Export.complete ~name ~tid ~ts_us:(iv.start *. 1e6)
+              ~dur_us:((iv.finish -. iv.start) *. 1e6))
+          (intervals t ~resource:r))
+      tids
+  in
+  Obs.Json.List (metadata @ body)
+
+let write_chrome t path = Obs.Json.write_file path (to_chrome t)

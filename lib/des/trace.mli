@@ -25,3 +25,11 @@ val utilization : t -> resource:string -> float
 
 val render_gantt : ?width:int -> t -> string
 (** A fixed-width text Gantt chart, one row per resource. *)
+
+val to_chrome : t -> Obs.Json.t
+(** Chrome trace-event array for Perfetto / about://tracing: one thread
+    row per resource, one complete ("X") event per interval.  One
+    simulated time unit renders as one second. *)
+
+val write_chrome : t -> string -> unit
+(** [write_chrome t path] writes {!to_chrome} to [path]. *)

@@ -73,3 +73,41 @@ val get_global : ?at_least:int -> unit -> t
 (** The process-wide shared pool, created on first use (sized
     {!default_domains}, or [at_least] if larger) and torn down via
     [at_exit].  Grows if a later caller asks for more domains. *)
+
+(** {2 Stats}
+
+    Always-on per-pool counters on the shared monotonic clock
+    ([Obs.Clock]); recording costs two clock reads and a few plain
+    stores per submission, no allocation.  Spans ([pool.parallel_for],
+    [pool.worker.run]) and the [pool.submit_latency_ns] histogram are
+    additionally emitted when [Obs.Trace] / [Obs.Metrics] are
+    enabled. *)
+
+type worker_stats = {
+  tasks : int;  (** submissions this slot ran chunks for *)
+  chunks : int;  (** chunks claimed through the atomic index *)
+  busy_ns : int;  (** time spent running chunks (slot 0: whole submissions) *)
+  parked_ns : int;  (** workers only: time parked between submissions *)
+}
+
+type stats = {
+  domains : int;
+  submissions : int;  (** parallel submissions completed *)
+  sequential_runs : int;
+      (** calls that ran sequentially: [n <= 1], [workers = 1], torn
+          down, or nested *)
+  nested_runs : int;  (** the nested subset of [sequential_runs] *)
+  per_domain : worker_stats array;
+      (** slot 0 is the submitting domain, then one slot per worker in
+          spawn order *)
+}
+
+val stats : t -> stats
+(** A copy of the counters.  Counters accumulate from [create] for the
+    pool's whole lifetime: {!ensure} appends zeroed slots for the new
+    workers and preserves existing ones, and {!teardown} does not reset
+    anything — joined workers simply stop accumulating, while the
+    sequential fallback of a torn-down pool still counts into
+    [sequential_runs].  Exact when read between submissions (the
+    documented single-submitter contract); a read that races a running
+    submission may lag by the in-flight updates. *)

@@ -27,12 +27,14 @@ let sweep ?(processor_counts = default_processor_counts) ?(trials = 100) ?(seed 
       rngs.(t) <- Rng.split rng
     done;
     Numerics.Parallel.parallel_for ?domains trials (fun t ->
+        Obs.Trace.begin_span "fig4.trial";
         let star = Platform.Profiles.generate rngs.(t) ~p profile in
         let r = Partition.Strategies.evaluate star in
         het.(t) <- r.Partition.Strategies.het;
         hom.(t) <- r.Partition.Strategies.hom;
         hom_over_k.(t) <- r.Partition.Strategies.hom_over_k;
-        ks.(t) <- float_of_int r.Partition.Strategies.k);
+        ks.(t) <- float_of_int r.Partition.Strategies.k;
+        Obs.Trace.end_span "fig4.trial");
     {
       p;
       het = Stats.summarize het;

@@ -32,6 +32,7 @@ let run ?(n = 512) ?(chunk = 16) ?(processor_counts = [ 4; 16 ]) ?(trials = 3) ?
             rngs.(t) <- Rng.split rng
           done;
           Numerics.Parallel.parallel_for ?domains trials (fun t ->
+            Obs.Trace.begin_span "mapreduce.trial";
             let trial_rng = rngs.(t) in
             let star = Profiles.generate trial_rng ~p profile in
             let a = Array.init n (fun _ -> Rng.uniform trial_rng (-1.) 1.) in
@@ -50,7 +51,8 @@ let run ?(n = 512) ?(chunk = 16) ?(processor_counts = [ 4; 16 ]) ?(trials = 3) ?
             affinity_comm.(t) <- affinity.Mapreduce.Scheduler.communication;
             zone_comm.(t) <- float_of_int (Linalg.Zone.half_perimeter_sum zones);
             fifo_makespan.(t) <- fifo.Mapreduce.Scheduler.makespan;
-            affinity_makespan.(t) <- affinity.Mapreduce.Scheduler.makespan);
+            affinity_makespan.(t) <- affinity.Mapreduce.Scheduler.makespan;
+            Obs.Trace.end_span "mapreduce.trial");
           rows :=
             {
               p;

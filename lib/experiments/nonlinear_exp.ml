@@ -26,6 +26,7 @@ let run ?(alphas = [ 1.5; 2.; 3. ]) ?(processor_counts = [ 2; 4; 16; 64; 256 ])
       let cost = Dlt.Cost_model.of_alpha alpha in
       List.iter
         (fun p ->
+          Obs.Trace.begin_span "nonlinear.trial";
           let hom = Profiles.generate (Rng.split rng) ~p Profiles.paper_homogeneous in
           let het = Profiles.generate (Rng.split rng) ~p Profiles.paper_uniform in
           let allocation, makespan =
@@ -43,7 +44,8 @@ let run ?(alphas = [ 1.5; 2.; 3. ]) ?(processor_counts = [ 2; 4; 16; 64; 256 ])
               measured_heterogeneous = measured_fraction het cost ~total;
               makespan;
             }
-            :: !rows)
+            :: !rows;
+          Obs.Trace.end_span "nonlinear.trial")
         processor_counts)
     alphas;
   List.rev !rows

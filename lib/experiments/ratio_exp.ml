@@ -57,9 +57,11 @@ let run_general ?(processor_counts = [ 10; 40; 100 ]) ?(trials = 20) ?(seed = 5)
             rngs.(t) <- Rng.split rng
           done;
           Numerics.Parallel.parallel_for ?domains trials (fun t ->
+              Obs.Trace.begin_span "ratio.trial";
               let star = Profiles.generate rngs.(t) ~p profile in
               rhos.(t) <- measured_rho star;
-              bounds.(t) <- Platform.Metrics.hom_over_het_bound star);
+              bounds.(t) <- Platform.Metrics.hom_over_het_bound star;
+              Obs.Trace.end_span "ratio.trial");
           rows :=
             {
               p;

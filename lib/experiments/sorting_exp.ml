@@ -29,6 +29,7 @@ let run ?(sizes = [ 10_000; 100_000; 1_000_000 ]) ?(processor_counts = [ 4; 16; 
     (fun n ->
       List.iter
         (fun p ->
+          Obs.Trace.begin_span "sorting.trial";
           let trial_rng = Rng.split rng in
           let keys = Array.init n (fun _ -> Rng.float trial_rng) in
           let s = Sample_sort.default_oversampling ~n in
@@ -51,7 +52,8 @@ let run ?(sizes = [ 10_000; 100_000; 1_000_000 ]) ?(processor_counts = [ 4; 16; 
               speedup = timing.Sortlib.Parallel_model.speedup;
               ideal_speedup = Platform.Star.total_speed star;
             }
-            :: !rows)
+            :: !rows;
+          Obs.Trace.end_span "sorting.trial")
         processor_counts)
     sizes;
   List.rev !rows
@@ -82,12 +84,14 @@ let run_hetero ?(sizes = [ 200_000 ]) ?(processor_counts = [ 4; 16; 64 ]) ?(tria
           let imbalances = Array.make trials 0. in
           let naive = Array.make trials 0. in
           for t = 0 to trials - 1 do
+            Obs.Trace.begin_span "sorting.hetero.trial";
             let trial_rng = Rng.split rng in
             let star = Profiles.generate trial_rng ~p Profiles.paper_uniform in
             let keys = Array.init n (fun _ -> Rng.float trial_rng) in
             let result = Sortlib.Hetero_sort.run trial_rng star ~keys in
             imbalances.(t) <- result.Sortlib.Hetero_sort.imbalance;
-            naive.(t) <- naive_imbalance star ~n
+            naive.(t) <- naive_imbalance star ~n;
+            Obs.Trace.end_span "sorting.hetero.trial"
           done;
           rows :=
             {

@@ -23,6 +23,7 @@ let run ?(p = 32) ?(n = 1e3) ?(bandwidths = [ 1e4; 1e2; 10.; 1.; 0.1 ]) ?(trials
         rngs.(t) <- Rng.split rng
       done;
       Numerics.Parallel.parallel_for ?domains trials (fun t ->
+          Obs.Trace.begin_span "time.trial";
           let star = Profiles.generate ~bandwidth rngs.(t) ~p profile in
           let bound = Partition.Timed.compute_bound star ~n in
           let het = Partition.Timed.het star ~n in
@@ -30,7 +31,8 @@ let run ?(p = 32) ?(n = 1e3) ?(bandwidths = [ 1e4; 1e2; 10.; 1.; 0.1 ]) ?(trials
           het_ratios.(t) <- het.Partition.Timed.makespan /. bound;
           hom_ratios.(t) <- hom.Partition.Timed.makespan /. bound;
           comm_shares.(t) <-
-            het.Partition.Timed.comm_makespan /. het.Partition.Timed.makespan);
+            het.Partition.Timed.comm_makespan /. het.Partition.Timed.makespan;
+          Obs.Trace.end_span "time.trial");
       {
         bandwidth;
         het_ratio = Numerics.Stats.mean het_ratios;

@@ -80,9 +80,12 @@ let partition ?(cmp = compare) keys ~splitters =
   let p = Array.length splitters + 1 in
   if n = 0 then empty_result ~p
   else begin
+    Obs.Trace.begin_span "scatter.histogram";
     let cursors = histogram ~cmp keys ~splitters in
     let offsets = exclusive_prefix cursors in
+    Obs.Trace.end_span "scatter.histogram";
     Array.blit offsets 0 cursors 0 p;
+    Obs.Trace.begin_span "scatter.scatter";
     let data = Array.make n keys.(0) in
     for i = 0 to n - 1 do
       let key = keys.(i) in
@@ -90,6 +93,7 @@ let partition ?(cmp = compare) keys ~splitters =
       data.(cursors.(b)) <- key;
       cursors.(b) <- cursors.(b) + 1
     done;
+    Obs.Trace.end_span "scatter.scatter";
     { data; offsets }
   end
 
@@ -98,9 +102,12 @@ let partition_floats (keys : float array) ~(splitters : float array) =
   let p = Array.length splitters + 1 in
   if n = 0 then empty_result ~p
   else begin
+    Obs.Trace.begin_span "scatter.histogram";
     let cursors = histogram_floats keys ~splitters in
     let offsets = exclusive_prefix cursors in
+    Obs.Trace.end_span "scatter.histogram";
     Array.blit offsets 0 cursors 0 p;
+    Obs.Trace.begin_span "scatter.scatter";
     let data = Array.make n 0. in
     let m = Array.length splitters in
     for i = 0 to n - 1 do
@@ -114,6 +121,7 @@ let partition_floats (keys : float array) ~(splitters : float array) =
       Array.unsafe_set data at key;
       Array.unsafe_set cursors !lo (at + 1)
     done;
+    Obs.Trace.end_span "scatter.scatter";
     { data; offsets }
   end
 
@@ -150,6 +158,7 @@ let partition_pool ?(cmp = compare) ?workers pool keys ~splitters =
     if slices = 1 then partition ~cmp keys ~splitters
     else begin
       let counts = Array.make (slices * p) 0 in
+      Obs.Trace.begin_span "scatter.pool.count";
       Exec.Pool.parallel_for ?workers pool slices (fun s ->
           let lo = slice_lo ~n ~slices s and hi = slice_lo ~n ~slices (s + 1) in
           let base = s * p in
@@ -157,8 +166,10 @@ let partition_pool ?(cmp = compare) ?workers pool keys ~splitters =
             let b = bucket_index ~cmp splitters keys.(i) in
             counts.(base + b) <- counts.(base + b) + 1
           done);
+      Obs.Trace.end_span "scatter.pool.count";
       let offsets = merge_cursors counts ~slices ~p in
       let data = Array.make n keys.(0) in
+      Obs.Trace.begin_span "scatter.pool.scatter";
       Exec.Pool.parallel_for ?workers pool slices (fun s ->
           let lo = slice_lo ~n ~slices s and hi = slice_lo ~n ~slices (s + 1) in
           let base = s * p in

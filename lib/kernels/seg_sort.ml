@@ -103,7 +103,11 @@ let rec intro cmp data lo hi depth =
 
 let sort ?(cmp = compare) data ~lo ~len =
   check_bounds "Seg_sort.sort" data ~lo ~len;
-  if len > 1 then intro cmp data lo (lo + len) (depth_budget len)
+  if len > 1 then begin
+    Obs.Trace.begin_span "segsort.sort";
+    intro cmp data lo (lo + len) (depth_budget len);
+    Obs.Trace.end_span "segsort.sort"
+  end
 
 (* --- float-specialized ------------------------------------------------- *)
 
@@ -192,4 +196,8 @@ let rec intro_f (data : float array) lo hi depth =
 
 let sort_floats data ~lo ~len =
   check_bounds "Seg_sort.sort_floats" data ~lo ~len;
-  if len > 1 then intro_f data lo (lo + len) (depth_budget len)
+  if len > 1 then begin
+    Obs.Trace.begin_span "segsort.sort_floats";
+    intro_f data lo (lo + len) (depth_budget len);
+    Obs.Trace.end_span "segsort.sort_floats"
+  end

@@ -61,6 +61,9 @@ let missing_volume cache ~block_size task =
     (fun acc id -> if Hashtbl.mem cache id then acc else acc +. block_size id)
     0. task.Task.data_ids
 
+let m_assignments = Obs.Metrics.counter "mapreduce.assignments"
+let m_speculative = Obs.Metrics.counter "mapreduce.speculative_copies"
+
 let run ?(config = default_config) ?jitter star ~tasks ~block_size =
   let compute_factor =
     match jitter with
@@ -118,6 +121,7 @@ let run ?(config = default_config) ?jitter star ~tasks ~block_size =
     per_worker_comm.(w) <- per_worker_comm.(w) +. volume;
     per_worker_tasks.(w) <- per_worker_tasks.(w) + 1;
     total_comm := !total_comm +. volume;
+    Obs.Metrics.incr_counter m_assignments;
     assignments := { task = i; worker = w; start = now; fetch_end; finish; fetched = volume } :: !assignments;
     Log.debug (fun m ->
         m "t=%.4g: task %d -> worker %d (fetch %.4g, finish %.4g)" now i w volume finish);
@@ -146,6 +150,7 @@ let run ?(config = default_config) ?jitter star ~tasks ~block_size =
       in
       if eta < completion.(i) then begin
         incr duplicates;
+        Obs.Metrics.incr_counter m_speculative;
         Log.info (fun m ->
             m "t=%.4g: worker %d speculates on task %d (eta %.4g < %.4g)" now w i eta
               completion.(i));
@@ -170,7 +175,9 @@ let run ?(config = default_config) ?jitter star ~tasks ~block_size =
         end;
         drain ()
   in
+  Obs.Trace.begin_span "mapreduce.schedule";
   drain ();
+  Obs.Trace.end_span "mapreduce.schedule";
   let makespan = Array.fold_left Float.max 0. completion in
   let makespan = if n_tasks = 0 then 0. else makespan in
   {

@@ -1,0 +1,105 @@
+(* Exporters: Chrome trace-event JSON (loadable in Perfetto and
+   about://tracing) for the span tracer, and a flat JSON rendering of
+   the metrics snapshot.  The building blocks ([duration], [complete],
+   [thread_name], ...) are exposed so other timeline sources — the
+   simulated [Des.Trace] Gantt in particular — can render through the
+   same format. *)
+
+(* Trace-event JSON array format: a top-level list of event objects.
+   Timestamps ("ts") are in microseconds. *)
+
+let event_obj ~name ~ph ~tid ~ts_us extra =
+  Json.Obj
+    ([
+       ("name", Json.String name);
+       ("ph", Json.String ph);
+       ("ts", Json.Float ts_us);
+       ("pid", Json.Int 1);
+       ("tid", Json.Int tid);
+     ]
+    @ extra)
+
+let duration ~phase ~name ~tid ~ts_us =
+  event_obj ~name ~ph:(match phase with `Begin -> "B" | `End -> "E") ~tid ~ts_us []
+
+let complete ~name ~tid ~ts_us ~dur_us =
+  event_obj ~name ~ph:"X" ~tid ~ts_us [ ("dur", Json.Float dur_us) ]
+
+let instant ~name ~tid ~ts_us =
+  event_obj ~name ~ph:"i" ~tid ~ts_us [ ("s", Json.String "t") ]
+
+let process_name name =
+  Json.Obj
+    [
+      ("name", Json.String "process_name");
+      ("ph", Json.String "M");
+      ("pid", Json.Int 1);
+      ("args", Json.Obj [ ("name", Json.String name) ]);
+    ]
+
+let thread_name ~tid name =
+  Json.Obj
+    [
+      ("name", Json.String "thread_name");
+      ("ph", Json.String "M");
+      ("pid", Json.Int 1);
+      ("tid", Json.Int tid);
+      ("args", Json.Obj [ ("name", Json.String name) ]);
+    ]
+
+let trace_json () =
+  let evs = Trace.events () in
+  (* Rebase timestamps so the trace starts near 0 (raw monotonic ns
+     since boot would cost double precision for no benefit). *)
+  let t0 = List.fold_left (fun acc (e : Trace.event) -> min acc e.ts_ns) max_int evs in
+  let domains =
+    List.sort_uniq compare (List.map (fun (e : Trace.event) -> e.domain) evs)
+  in
+  let metadata =
+    process_name "nldl"
+    :: List.map
+         (fun d ->
+           thread_name ~tid:d
+             (if d = 0 then "domain 0 (main)" else Printf.sprintf "domain %d" d))
+         domains
+  in
+  let body =
+    List.map
+      (fun (e : Trace.event) ->
+        let ts_us = float_of_int (e.ts_ns - t0) /. 1e3 in
+        match e.kind with
+        | Trace.Begin -> duration ~phase:`Begin ~name:e.name ~tid:e.domain ~ts_us
+        | Trace.End -> duration ~phase:`End ~name:e.name ~tid:e.domain ~ts_us
+        | Trace.Instant -> instant ~name:e.name ~tid:e.domain ~ts_us)
+      evs
+  in
+  Json.List (metadata @ body)
+
+let write_trace path = Json.write_file path (trace_json ())
+
+let metrics_json () =
+  let s = Metrics.snapshot () in
+  Json.Obj
+    [
+      ("counters", Json.Obj (List.map (fun (n, v) -> (n, Json.Int v)) s.Metrics.counters));
+      ( "gauges",
+        Json.Obj (List.map (fun (n, v) -> (n, Json.Float v)) s.Metrics.gauges) );
+      ( "histograms",
+        Json.Obj
+          (List.map
+             (fun (n, (h : Metrics.hist_snapshot)) ->
+               ( n,
+                 Json.Obj
+                   [
+                     ( "bounds",
+                       Json.List
+                         (Array.to_list (Array.map (fun b -> Json.Float b) h.bounds)) );
+                     ( "buckets",
+                       Json.List
+                         (Array.to_list (Array.map (fun c -> Json.Int c) h.buckets)) );
+                     ("total", Json.Int h.total);
+                   ] ))
+             s.Metrics.histograms) );
+    ]
+
+let write_metrics path = Json.write_file path (metrics_json ())

@@ -1,0 +1,34 @@
+(** Exporters: Chrome trace-event JSON (Perfetto / about://tracing)
+    and a flat metrics snapshot.
+
+    The trace file is the JSON *array* format: a top-level list of
+    event objects with ["ts"] in microseconds, ["pid"]/["tid"] lanes
+    (one tid per domain), metadata events naming the process and
+    threads.  The event builders are exposed so other timeline sources
+    (e.g. the simulated [Des.Trace]) render through the same format. *)
+
+val duration :
+  phase:[ `Begin | `End ] -> name:string -> tid:int -> ts_us:float -> Json.t
+(** A "B"/"E" duration event. *)
+
+val complete : name:string -> tid:int -> ts_us:float -> dur_us:float -> Json.t
+(** An "X" complete event (span with an explicit duration). *)
+
+val instant : name:string -> tid:int -> ts_us:float -> Json.t
+(** An "i" instant event (thread scope). *)
+
+val process_name : string -> Json.t
+val thread_name : tid:int -> string -> Json.t
+(** "M" metadata events labelling the pid / a tid lane. *)
+
+val trace_json : unit -> Json.t
+(** Render every buffered {!Trace} event, timestamps rebased to start
+    near 0, preceded by process/thread metadata. *)
+
+val write_trace : string -> unit
+
+val metrics_json : unit -> Json.t
+(** Render {!Metrics.snapshot} as
+    [{"counters": {...}, "gauges": {...}, "histograms": {...}}]. *)
+
+val write_metrics : string -> unit

@@ -1,0 +1,27 @@
+(** Minimal JSON values: the one emitter shared by the bench artifact,
+    the Chrome trace exporter and the metrics snapshot, plus a parser
+    for the same subset so tests can validate emitted files without
+    external tools. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Pretty-printed, 2-space indent, trailing newline.  Non-finite
+    floats are emitted as [null] (JSON has no NaN/inf). *)
+
+val write_file : string -> t -> unit
+
+val of_string : string -> (t, string) result
+(** Parse a complete JSON document.  Numbers without [.], [e] or
+    overflow parse as [Int], others as [Float]. *)
+
+val member : string -> t -> t option
+(** [member key (Obj fields)] is the value bound to [key]; [None] for
+    missing keys and non-objects. *)

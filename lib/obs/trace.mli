@@ -1,0 +1,43 @@
+(** Span tracing: begin/end spans and instant events on the monotonic
+    nanosecond clock, recorded into per-domain ring buffers.
+
+    Disabled-mode contract (the default): every recording call is a
+    single atomic flag load and allocates zero words — safe to leave in
+    the hottest paths.  Enabled-mode recording is also allocation-free
+    (preallocated ring buffers, the clock's int64 stays unboxed), but
+    pass static string literals as names: the string is stored by
+    reference, not copied.
+
+    Each domain owns a 16384-event ring buffer created on its first
+    event; when it wraps, the oldest events are overwritten ({!dropped}
+    counts the loss).  Collection ({!events}, {!clear}) is meant to run
+    at a quiescent point — after the traced workload, not during. *)
+
+val set_enabled : bool -> unit
+val enabled : unit -> bool
+
+val begin_span : string -> unit
+val end_span : string -> unit
+(** Begin/end a named span on the calling domain.  Calls must nest
+    properly per domain (Chrome trace B/E semantics). *)
+
+val instant : string -> unit
+(** A zero-duration marker event. *)
+
+val with_span : string -> (unit -> 'a) -> 'a
+(** [with_span name f] wraps [f] in a span, ending it on exceptions
+    too.  Convenience for drivers; hot kernels should prefer explicit
+    [begin_span]/[end_span] so no closure is built when disabled. *)
+
+type kind = Begin | End | Instant
+type event = { domain : int; ts_ns : int; kind : kind; name : string }
+
+val events : unit -> event list
+(** All buffered events, merged across domains, sorted by timestamp
+    (stable: per-domain order is preserved for equal stamps). *)
+
+val dropped : unit -> int
+(** Events lost to ring-buffer wrap since the last {!clear}. *)
+
+val clear : unit -> unit
+(** Empty every ring buffer (buffers stay allocated). *)

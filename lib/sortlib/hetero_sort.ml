@@ -22,12 +22,16 @@ let run ?s rng star ~keys =
     if Star.size star = 1 then [||]
     else Sample_sort.weighted_splitters ~cmp rng keys ~weights ~s
   in
+  Obs.Trace.begin_span "heterosort.partition";
   let flat = Kernels.Scatter.partition_floats keys ~splitters in
+  Obs.Trace.end_span "heterosort.partition";
   let sorted = flat.Kernels.Scatter.data in
+  Obs.Trace.begin_span "heterosort.bucket_sort";
   for b = 0 to Kernels.Scatter.num_buckets flat - 1 do
     let lo, len = Kernels.Scatter.bucket_bounds flat b in
     Kernels.Seg_sort.sort_floats sorted ~lo ~len
   done;
+  Obs.Trace.end_span "heterosort.bucket_sort";
   let bucket_sizes = Kernels.Scatter.bucket_sizes flat in
   let workers = Star.workers star in
   let times =

@@ -65,13 +65,19 @@ let splitters ?(tolerance = 0.02) ?(max_passes = 64) keys ~p =
 let sort ?tolerance keys ~p =
   if Array.length keys = 0 then [||]
   else begin
+    Obs.Trace.begin_span "histsort.splitters";
     let { splitters = s; _ } = splitters ?tolerance keys ~p in
+    Obs.Trace.end_span "histsort.splitters";
+    Obs.Trace.begin_span "histsort.partition";
     let flat = Scatter.partition_floats keys ~splitters:s in
+    Obs.Trace.end_span "histsort.partition";
     let data = flat.Scatter.data in
+    Obs.Trace.begin_span "histsort.bucket_sort";
     for b = 0 to Scatter.num_buckets flat - 1 do
       let lo, len = Scatter.bucket_bounds flat b in
       Kernels.Seg_sort.sort_floats data ~lo ~len
     done;
+    Obs.Trace.end_span "histsort.bucket_sort";
     data
   end
 

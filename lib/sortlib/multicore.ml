@@ -18,6 +18,7 @@ let sort ?domains ?s rng keys ~p =
     (* Phase 2 through the counting scatter kernel: stable, so the pool
        variant is byte-identical to the sequential one at any domain
        count. *)
+    Obs.Trace.begin_span "multicore.partition";
     let flat =
       if d <= 1 then Scatter.partition_floats keys ~splitters
       else
@@ -25,22 +26,24 @@ let sort ?domains ?s rng keys ~p =
           (Exec.Pool.get_global ~at_least:d ())
           keys ~splitters
     in
+    Obs.Trace.end_span "multicore.partition";
     let data = flat.Scatter.data in
     (* Phase 3 in parallel: bucket segments are disjoint slices of [data],
        so sorting them from different domains is race-free — and the flat
        array is already in bucket order, so no final concat. *)
+    Obs.Trace.begin_span "multicore.bucket_sort";
     Numerics.Parallel.parallel_for ?domains (Scatter.num_buckets flat) (fun b ->
         let lo, len = Scatter.bucket_bounds flat b in
         Seg_sort.sort_floats data ~lo ~len);
+    Obs.Trace.end_span "multicore.bucket_sort";
     data
   end
 
 (* Monotonic clock (ns): wall-clock [Unix.gettimeofday] is subject to
-   NTP slew and skews the reported speedup on loaded hosts. *)
-let time f =
-  let t0 = Monotonic_clock.now () in
-  let result = f () in
-  (result, Int64.to_float (Int64.sub (Monotonic_clock.now ()) t0) /. 1e9)
+   NTP slew and skews the reported speedup on loaded hosts.
+   [Obs.Clock] wraps the same noalloc primitive the bench harness
+   uses. *)
+let time = Obs.Clock.elapsed_s
 
 let median samples =
   let sorted = Array.copy samples in

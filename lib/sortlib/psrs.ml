@@ -10,6 +10,7 @@ let sort keys ~p =
   if n = 0 then { splitters = [||]; bucket_sizes = Array.make p 0; sorted = [||] }
   else begin
     (* Local phase: p contiguous chunks, each sorted. *)
+    Obs.Trace.begin_span "psrs.local_sort";
     let chunk_sizes = Numerics.Apportion.largest_remainder ~weights:(Array.make p 1.) ~total:n in
     let chunks =
       let start = ref 0 in
@@ -44,8 +45,10 @@ let sort keys ~p =
             let rank = (j + 1) * m / p in
             samples.(min rank (m - 1)))
     in
+    Obs.Trace.end_span "psrs.local_sort";
     (* Exchange phase: every (sorted) chunk is split by the splitters;
        bucket b collects its slice of every chunk, then merges. *)
+    Obs.Trace.begin_span "psrs.exchange";
     let buckets = Array.make p [] in
     Array.iter
       (fun chunk ->
@@ -68,8 +71,11 @@ let sort keys ~p =
           start := finish
         done)
       chunks;
+    Obs.Trace.end_span "psrs.exchange";
     (* Each bucket's pieces are already sorted: k-way merge them. *)
+    Obs.Trace.begin_span "psrs.merge";
     let merged = Array.map (fun pieces -> Merge.k_way (List.rev pieces)) buckets in
+    Obs.Trace.end_span "psrs.merge";
     {
       splitters;
       bucket_sizes = Array.map Array.length merged;

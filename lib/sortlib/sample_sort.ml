@@ -61,13 +61,19 @@ let sort ?(cmp = compare) ?s rng keys ~p =
   end
   else begin
     let s = match s with Some s -> s | None -> default_oversampling ~n:(Array.length keys) in
+    Obs.Trace.begin_span "samplesort.splitters";
     let splitters = choose_splitters ~cmp rng keys ~p ~s in
+    Obs.Trace.end_span "samplesort.splitters";
+    Obs.Trace.begin_span "samplesort.partition";
     let flat = partition_flat ~cmp keys ~splitters in
+    Obs.Trace.end_span "samplesort.partition";
     let data = flat.Kernels.Scatter.data in
+    Obs.Trace.begin_span "samplesort.bucket_sort";
     for b = 0 to Kernels.Scatter.num_buckets flat - 1 do
       let lo, len = Kernels.Scatter.bucket_bounds flat b in
       Kernels.Seg_sort.sort ~cmp data ~lo ~len
     done;
+    Obs.Trace.end_span "samplesort.bucket_sort";
     data
   end
 

@@ -107,6 +107,61 @@ let test_pool_ensure_grows () =
       Pool.parallel_for pool 200 (fun i -> hits.(i) <- hits.(i) + 1);
       checkb "covers after growth" true (Array.for_all (fun h -> h = 1) hits))
 
+let test_pool_stats_consistent () =
+  (* Counter consistency at forced domain counts (the host may expose a
+     single CPU, so never detect).  Chunk geometry depends only on n,
+     so the chunks claimed across all slots must equal the chunk count
+     of each submission, whatever the domain count. *)
+  let n = 1_000 and submissions = 5 in
+  List.iter
+    (fun domains ->
+      with_pool ~domains (fun pool ->
+          let s0 = Pool.stats pool in
+          checki "fresh pool: no submissions" 0 s0.Pool.submissions;
+          checki "stats slot per domain" domains (Array.length s0.Pool.per_domain);
+          for _ = 1 to submissions do
+            Pool.parallel_for ~chunk:16 pool n (fun _ -> ())
+          done;
+          let s = Pool.stats pool in
+          checki "domains" domains s.Pool.domains;
+          let chunk_count = (n + 15) / 16 in
+          if domains = 1 then begin
+            (* Sequential fallback: counted as such, never as parallel. *)
+            checki "sequential runs" submissions s.Pool.sequential_runs;
+            checki "no parallel submissions" 0 s.Pool.submissions
+          end
+          else begin
+            checki "parallel submissions" submissions s.Pool.submissions;
+            checki "no sequential runs" 0 s.Pool.sequential_runs;
+            checki "nested runs" 0 s.Pool.nested_runs;
+            let total_chunks =
+              Array.fold_left (fun acc w -> acc + w.Pool.chunks) 0 s.Pool.per_domain
+            in
+            checki "chunks conserved" (submissions * chunk_count) total_chunks;
+            checkb "submitter busy time counted" true
+              (s.Pool.per_domain.(0).Pool.busy_ns > 0);
+            checki "submitter task count" submissions s.Pool.per_domain.(0).Pool.tasks
+          end))
+    [ 1; 2; 3 ]
+
+let test_pool_stats_nested_and_ensure () =
+  with_pool ~domains:2 (fun pool ->
+      Pool.parallel_for pool 8 (fun _ ->
+          (* Nested submission: sequential on the calling domain. *)
+          Pool.parallel_for pool 4 (fun _ -> ()));
+      let s = Pool.stats pool in
+      checki "outer submission parallel" 1 s.Pool.submissions;
+      checki "nested counted" s.Pool.nested_runs s.Pool.sequential_runs;
+      checkb "nested happened" true (s.Pool.nested_runs >= 1);
+      (* ensure appends zeroed slots and preserves the existing ones. *)
+      let before = Array.map (fun w -> w.Pool.chunks) s.Pool.per_domain in
+      Pool.ensure pool ~domains:3;
+      let s' = Pool.stats pool in
+      checki "slot appended" 3 (Array.length s'.Pool.per_domain);
+      checkb "existing counters preserved" true
+        (Array.sub (Array.map (fun w -> w.Pool.chunks) s'.Pool.per_domain) 0 2 = before);
+      checki "new slot zeroed" 0 s'.Pool.per_domain.(2).Pool.chunks)
+
 let test_parallel_reduce_sum () =
   with_pool ~domains:4 (fun pool ->
       let n = 10_000 in
@@ -184,6 +239,10 @@ let suites =
         Alcotest.test_case "nested call safety" `Quick test_pool_nested_safety;
         Alcotest.test_case "teardown idempotent" `Quick test_pool_teardown_idempotent;
         Alcotest.test_case "ensure grows" `Quick test_pool_ensure_grows;
+        Alcotest.test_case "stats consistent at 1/2/3 domains" `Quick
+          test_pool_stats_consistent;
+        Alcotest.test_case "stats: nested and ensure" `Quick
+          test_pool_stats_nested_and_ensure;
         Alcotest.test_case "reduce sum" `Quick test_parallel_reduce_sum;
         Alcotest.test_case "reduce deterministic" `Quick test_parallel_reduce_deterministic;
         Alcotest.test_case "reduce facade" `Quick test_parallel_reduce_facade;

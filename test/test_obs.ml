@@ -1,0 +1,347 @@
+(* Observability layer: JSON round-trips, span tracing invariants,
+   per-domain metric sharding, the Chrome exporters, and the
+   disabled-mode zero-allocation contract.
+
+   The tracing/metrics flags are process-global, so every test that
+   enables them restores the disabled default before returning —
+   including on failure — to keep the rest of the run untouched. *)
+
+module Json = Obs.Json
+module Metrics = Obs.Metrics
+module Trace = Obs.Trace
+module Export = Obs.Export
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let with_tracing f =
+  Trace.clear ();
+  Trace.set_enabled true;
+  Fun.protect ~finally:(fun () -> Trace.set_enabled false) f
+
+let with_metrics f =
+  Metrics.reset ();
+  Metrics.set_enabled true;
+  Fun.protect ~finally:(fun () -> Metrics.set_enabled false) f
+
+let parse_exn s =
+  match Json.of_string s with
+  | Ok v -> v
+  | Error msg -> Alcotest.failf "JSON parse error: %s" msg
+
+(* --- Json -------------------------------------------------------------- *)
+
+let test_json_roundtrip () =
+  let doc =
+    Json.Obj
+      [
+        ("null", Json.Null);
+        ("flag", Json.Bool true);
+        ("count", Json.Int (-42));
+        ("ratio", Json.Float 1.5);
+        ("text", Json.String "line\n\"quoted\"\ttab");
+        ("items", Json.List [ Json.Int 1; Json.Float 2.25; Json.String "x" ]);
+        ("empty_list", Json.List []);
+        ("empty_obj", Json.Obj []);
+      ]
+  in
+  checkb "round-trips" true (parse_exn (Json.to_string doc) = doc)
+
+let test_json_member () =
+  let doc = parse_exn {|{"a": {"b": 7}, "c": [1, 2]}|} in
+  (match Json.member "a" doc with
+  | Some inner -> checkb "nested member" true (Json.member "b" inner = Some (Json.Int 7))
+  | None -> Alcotest.fail "member a missing");
+  checkb "missing key" true (Json.member "zzz" doc = None);
+  checkb "non-object" true (Json.member "a" (Json.Int 3) = None)
+
+let test_json_rejects_garbage () =
+  let bad = [ ""; "{"; "[1,]"; "{\"a\" 1}"; "tru"; "\"unterminated"; "1 2" ] in
+  List.iter
+    (fun s ->
+      match Json.of_string s with
+      | Ok _ -> Alcotest.failf "accepted malformed input %S" s
+      | Error _ -> ())
+    bad
+
+(* --- Trace ------------------------------------------------------------- *)
+
+let test_trace_disabled_records_nothing () =
+  Trace.clear ();
+  Trace.begin_span "ghost";
+  Trace.end_span "ghost";
+  Trace.instant "ghost";
+  checki "no events while disabled" 0 (List.length (Trace.events ()))
+
+let test_trace_balanced_and_monotonic () =
+  with_tracing (fun () ->
+      for _ = 1 to 50 do
+        Trace.begin_span "outer";
+        Trace.begin_span "inner";
+        Trace.instant "tick";
+        Trace.end_span "inner";
+        Trace.end_span "outer"
+      done);
+  let evs = Trace.events () in
+  checki "5 events per iteration" 250 (List.length evs);
+  let begins =
+    List.length (List.filter (fun (e : Trace.event) -> e.kind = Trace.Begin) evs)
+  in
+  let ends =
+    List.length (List.filter (fun (e : Trace.event) -> e.kind = Trace.End) evs)
+  in
+  checki "balanced begin/end" begins ends;
+  let sorted = ref true in
+  let _ =
+    List.fold_left
+      (fun prev (e : Trace.event) ->
+        if e.ts_ns < prev then sorted := false;
+        e.ts_ns)
+      min_int evs
+  in
+  checkb "timestamps monotone" true !sorted;
+  checki "nothing dropped" 0 (Trace.dropped ());
+  Trace.clear ();
+  checki "clear empties buffers" 0 (List.length (Trace.events ()))
+
+let test_trace_with_span_on_exception () =
+  with_tracing (fun () ->
+      (try Trace.with_span "failing" (fun () -> failwith "boom")
+       with Failure _ -> ());
+      let evs = Trace.events () in
+      checki "begin and end both present" 2 (List.length evs))
+
+let test_trace_ring_wraps_not_grows () =
+  (* Overfill one domain's ring: old events are overwritten, the
+     collection never exceeds the capacity, and the loss is counted. *)
+  with_tracing (fun () ->
+      for _ = 1 to 20_000 do
+        Trace.instant "spin"
+      done);
+  let kept = List.length (Trace.events ()) in
+  checki "capacity-bounded" 16384 kept;
+  checkb "drop counter saw the rest" true (Trace.dropped () >= 20_000 - 16384);
+  Trace.clear ()
+
+(* --- Metrics ----------------------------------------------------------- *)
+
+let test_metrics_disabled_noop () =
+  Metrics.reset ();
+  let c = Metrics.counter "obs_test.noop" in
+  Metrics.incr_counter c;
+  Metrics.add c 41;
+  let snap = Metrics.snapshot () in
+  checkb "stays zero while disabled" true
+    (Metrics.counter_value snap "obs_test.noop" = Some 0)
+
+let test_metrics_counter_and_histogram () =
+  let c = Metrics.counter "obs_test.events" in
+  let h = Metrics.histogram "obs_test.latency" ~bounds:[| 10.; 100.; 1000. |] in
+  with_metrics (fun () ->
+      for i = 1 to 100 do
+        Metrics.incr_counter c;
+        Metrics.observe_int h i
+      done);
+  let snap = Metrics.snapshot () in
+  checkb "counter sums" true (Metrics.counter_value snap "obs_test.events" = Some 100);
+  match List.assoc_opt "obs_test.latency" snap.Metrics.histograms with
+  | None -> Alcotest.fail "histogram missing from snapshot"
+  | Some hs ->
+      checki "total observations" 100 hs.Metrics.total;
+      (* 1..9 | 10..99 | 100 | - *)
+      checkb "bucketed correctly" true (hs.Metrics.buckets = [| 9; 90; 1; 0 |])
+
+let test_metrics_registration_idempotent () =
+  let a = Metrics.counter "obs_test.same" in
+  let b = Metrics.counter "obs_test.same" in
+  with_metrics (fun () ->
+      Metrics.incr_counter a;
+      Metrics.incr_counter b);
+  let snap = Metrics.snapshot () in
+  checkb "one counter, two handles" true
+    (Metrics.counter_value snap "obs_test.same" = Some 2);
+  checki "registered once" 1
+    (List.length
+       (List.filter (fun (n, _) -> n = "obs_test.same") snap.Metrics.counters))
+
+let test_metrics_sharded_merge_matches_sequential () =
+  (* The per-domain shards must merge to exactly the sequential count,
+     whatever the domain count.  The host may have one CPU, so the
+     domain counts are forced, not detected. *)
+  let c = Metrics.counter "obs_test.sharded" in
+  let n = 10_000 in
+  List.iter
+    (fun domains ->
+      Metrics.reset ();
+      let pool = Exec.Pool.create ~domains () in
+      Fun.protect
+        ~finally:(fun () -> Exec.Pool.teardown pool)
+        (fun () ->
+          with_metrics (fun () ->
+              Exec.Pool.parallel_for pool n (fun _ -> Metrics.incr_counter c)));
+      let snap = Metrics.snapshot () in
+      checkb
+        (Printf.sprintf "merge equals sequential at %d domains" domains)
+        true
+        (Metrics.counter_value snap "obs_test.sharded" = Some n))
+    [ 1; 2; 3 ]
+
+(* --- disabled-mode allocation contract --------------------------------- *)
+
+let minor_words_of f =
+  Gc.full_major ();
+  let before = Gc.minor_words () in
+  f ();
+  Gc.minor_words () -. before
+
+let test_disabled_zero_allocation () =
+  Trace.set_enabled false;
+  Metrics.set_enabled false;
+  let c = Metrics.counter "obs_test.alloc" in
+  let h = Metrics.histogram "obs_test.alloc_h" ~bounds:[| 1.; 2. |] in
+  (* Warm-up: DLS shards, ring buffers and any lazy setup. *)
+  Trace.begin_span "warm";
+  Trace.end_span "warm";
+  Metrics.incr_counter c;
+  Metrics.observe_int h 1;
+  let words =
+    minor_words_of (fun () ->
+        for i = 1 to 10_000 do
+          Trace.begin_span "hot";
+          Trace.instant "hot";
+          Trace.end_span "hot";
+          Metrics.incr_counter c;
+          Metrics.add c 2;
+          Metrics.observe_int h i
+        done)
+  in
+  checkb
+    (Printf.sprintf "disabled path allocates nothing (%.0f minor words)" words)
+    true (words = 0.)
+
+let test_enabled_recording_allocation_free () =
+  (* Enabled-mode span recording is also allocation-free: preallocated
+     rings, literal names stored by reference, noalloc clock. *)
+  with_tracing (fun () ->
+      Trace.begin_span "warm";
+      Trace.end_span "warm";
+      let words =
+        minor_words_of (fun () ->
+            for _ = 1 to 10_000 do
+              Trace.begin_span "hot";
+              Trace.end_span "hot"
+            done)
+      in
+      checkb
+        (Printf.sprintf "enabled spans allocate nothing (%.0f minor words)" words)
+        true (words = 0.));
+  Trace.clear ()
+
+(* --- exporters --------------------------------------------------------- *)
+
+let test_export_trace_json_valid () =
+  with_tracing (fun () ->
+      Trace.begin_span "phase_a";
+      Trace.instant "marker";
+      Trace.end_span "phase_a");
+  let doc = parse_exn (Json.to_string (Export.trace_json ())) in
+  Trace.clear ();
+  match doc with
+  | Json.List events ->
+      checkb "has events" true (List.length events >= 5);
+      (* process_name + at least one thread_name metadata, then B/i/E. *)
+      let phases =
+        List.filter_map
+          (fun e ->
+            match Json.member "ph" e with Some (Json.String p) -> Some p | _ -> None)
+          events
+      in
+      checki "every event has a phase" (List.length events) (List.length phases);
+      checkb "metadata present" true (List.mem "M" phases);
+      checkb "duration events present" true (List.mem "B" phases && List.mem "E" phases);
+      checkb "instant present" true (List.mem "i" phases);
+      List.iter
+        (fun e ->
+          (match Json.member "ts" e with
+          | Some (Json.Float ts) -> checkb "ts rebased near zero" true (ts >= 0.)
+          | Some (Json.Int ts) -> checkb "ts rebased near zero" true (ts >= 0)
+          | None -> (* metadata events carry no ts *) ()
+          | Some _ -> Alcotest.fail "ts has a non-numeric type");
+          checkb "pid constant" true (Json.member "pid" e = Some (Json.Int 1)))
+        events
+  | _ -> Alcotest.fail "trace is not a top-level JSON array"
+
+let test_export_metrics_json () =
+  let c = Metrics.counter "obs_test.export" in
+  with_metrics (fun () -> Metrics.add c 5);
+  let doc = parse_exn (Json.to_string (Export.metrics_json ())) in
+  match Json.member "counters" doc with
+  | Some counters ->
+      checkb "exported counter value" true
+        (Json.member "obs_test.export" counters = Some (Json.Int 5))
+  | None -> Alcotest.fail "no counters object"
+
+let test_des_trace_bridge () =
+  let t = Des.Trace.create () in
+  Des.Trace.record t ~resource:"w0" ~start:0. ~finish:1.5 ~label:"compute";
+  Des.Trace.record t ~resource:"w1" ~start:0.5 ~finish:2. ~label:"";
+  let doc = parse_exn (Json.to_string (Des.Trace.to_chrome t)) in
+  match doc with
+  | Json.List events ->
+      (* 1 process_name + 2 thread_name + 2 complete events. *)
+      checki "event count" 5 (List.length events);
+      let completes =
+        List.filter (fun e -> Json.member "ph" e = Some (Json.String "X")) events
+      in
+      checki "one X event per interval" 2 (List.length completes);
+      checkb "unlabeled interval falls back to the resource name" true
+        (List.exists (fun e -> Json.member "name" e = Some (Json.String "w1")) completes);
+      checkb "duration in microseconds" true
+        (List.exists
+           (fun e -> Json.member "dur" e = Some (Json.Float 1.5e6))
+           completes)
+  | _ -> Alcotest.fail "bridge output is not a JSON array"
+
+let suites =
+  [
+    ( "obs json",
+      [
+        Alcotest.test_case "round-trip" `Quick test_json_roundtrip;
+        Alcotest.test_case "member access" `Quick test_json_member;
+        Alcotest.test_case "rejects malformed" `Quick test_json_rejects_garbage;
+      ] );
+    ( "obs trace",
+      [
+        Alcotest.test_case "disabled records nothing" `Quick
+          test_trace_disabled_records_nothing;
+        Alcotest.test_case "balanced and monotonic" `Quick
+          test_trace_balanced_and_monotonic;
+        Alcotest.test_case "with_span on exception" `Quick
+          test_trace_with_span_on_exception;
+        Alcotest.test_case "ring wraps, never grows" `Quick
+          test_trace_ring_wraps_not_grows;
+      ] );
+    ( "obs metrics",
+      [
+        Alcotest.test_case "disabled no-op" `Quick test_metrics_disabled_noop;
+        Alcotest.test_case "counter and histogram" `Quick
+          test_metrics_counter_and_histogram;
+        Alcotest.test_case "registration idempotent" `Quick
+          test_metrics_registration_idempotent;
+        Alcotest.test_case "sharded merge = sequential" `Quick
+          test_metrics_sharded_merge_matches_sequential;
+      ] );
+    ( "obs allocation",
+      [
+        Alcotest.test_case "disabled path allocates zero" `Quick
+          test_disabled_zero_allocation;
+        Alcotest.test_case "enabled spans allocate zero" `Quick
+          test_enabled_recording_allocation_free;
+      ] );
+    ( "obs export",
+      [
+        Alcotest.test_case "trace-event JSON valid" `Quick test_export_trace_json_valid;
+        Alcotest.test_case "metrics JSON" `Quick test_export_metrics_json;
+        Alcotest.test_case "Des.Trace bridge" `Quick test_des_trace_bridge;
+      ] );
+  ]
