@@ -549,7 +549,7 @@ let run_ablation () =
     Experiments.Ablations.print_c25d (Experiments.Ablations.c25d ());
     Experiments.Ablations.print_splitters
       (Experiments.Ablations.splitters ~n:20_000 ());
-    Experiments.Ablations.print_speculation (Experiments.Ablations.speculation ~seeds:5 ());
+    Experiments.Ablations.print_speculation (Experiments.Ablations.speculation ~trials:5 ());
     Experiments.Ablations.print_ordering (Experiments.Ablations.ordering ())
   end
   else Experiments.Ablations.print_all ()

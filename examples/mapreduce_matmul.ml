@@ -20,7 +20,7 @@ let () =
   Printf.printf "Map tasks: %d (one per block triple)\n\n" (Array.length job.Core.Mr_engine.tasks);
 
   let run policy name =
-    let config = { Core.Mr_scheduler.policy; speculation = false } in
+    let config = { Core.Mr_scheduler.default_config with policy } in
     let result = Core.Mr_engine.run ~config star job ~reduce:(fun _ vs -> List.fold_left ( +. ) 0. vs) in
     Printf.printf "%-22s map comm %10.0f   shuffle %8.0f   makespan %8.1f\n" name
       result.Core.Mr_engine.map.Core.Mr_scheduler.communication

@@ -1,270 +1,20 @@
 (* nldl — command-line driver for the paper-reproduction experiments.
 
-   Subcommands:
-     fig4       Figure 4(a/b/c) communication-ratio sweep
-     nonlinear  E1: work fraction of a divisible round of an N^alpha load
-     sort       E2: sorting as an almost-divisible load
-     ratio      E3: Commhom/Commhet ratio on bimodal platforms
-     partition  partition a platform and print the layout
-     mapreduce  affinity-aware scheduling ablation *)
+   The subcommand group is built by folding over
+   [Experiments.Catalog.all]: each experiment registers itself there as
+   an [Experiments.Registry.entry] (name, synopsis, argument term), and
+   [Registry.to_cmd] uniformly equips it with logging (-v), tracing
+   (--trace/--metrics) and table dumps (--csv/--json).  Adding a
+   subcommand means adding a catalog entry — this file does not
+   change. *)
 
 open Cmdliner
-
-(* Logging: -v / -vv enable info / debug messages from the library's
-   sources (nldl.dlt, nldl.partition, nldl.mapreduce). *)
-let setup_logs verbosity =
-  let level =
-    match verbosity with 0 -> Some Logs.Warning | 1 -> Some Logs.Info | _ -> Some Logs.Debug
-  in
-  Logs.set_level level;
-  Logs.set_reporter (Logs.format_reporter ())
-
-let verbosity =
-  Arg.(value & flag_all & info [ "v"; "verbose" ] ~doc:"Increase log verbosity (repeatable).")
-
-let logs_term = Term.(const setup_logs $ (const List.length $ verbosity))
-
-(* Observability: --trace FILE records spans during the command body and
-   writes a Chrome trace-event JSON (Perfetto / about://tracing);
-   --metrics[=FILE] enables the metrics registry and dumps the merged
-   snapshot to FILE, or to stdout for "-" (the default when the flag is
-   given bare). *)
-let trace_file =
-  Arg.(
-    value
-    & opt (some string) None
-    & info [ "trace" ] ~docv:"FILE"
-        ~doc:"Record runtime spans and write a Chrome trace-event JSON to $(docv).")
-
-let metrics_file =
-  Arg.(
-    value
-    & opt ~vopt:(Some "-") (some string) None
-    & info [ "metrics" ] ~docv:"FILE"
-        ~doc:"Collect runtime metrics; write the snapshot to $(docv) (\"-\" = stdout).")
-
-let setup_obs trace metrics =
-  if trace <> None then Obs.Trace.set_enabled true;
-  if metrics <> None then Obs.Metrics.set_enabled true;
-  (trace, metrics)
-
-let finish_obs (trace, metrics) =
-  (match trace with
-  | None -> ()
-  | Some path ->
-      Obs.Trace.set_enabled false;
-      Obs.Export.write_trace path;
-      let dropped = Obs.Trace.dropped () in
-      if dropped > 0 then
-        Printf.eprintf "nldl: trace ring buffers dropped %d events\n%!" dropped;
-      Printf.eprintf "Trace written to %s\n%!" path);
-  match metrics with
-  | None -> ()
-  | Some "-" -> print_endline (Obs.Json.to_string (Obs.Export.metrics_json ()))
-  | Some path ->
-      Obs.Export.write_metrics path;
-      Printf.eprintf "Metrics written to %s\n%!" path
-
-let obs_term = Term.(const setup_obs $ trace_file $ metrics_file)
-
-(* Run the logging and observability setup before the actual command
-   body (cmdliner evaluates [$] arguments left to right), then flush
-   the trace/metrics files after it returns. *)
-let wrap term =
-  Term.(
-    const (fun () obs result ->
-        finish_obs obs;
-        result)
-    $ logs_term $ obs_term $ term)
-
-let profile_arg =
-  let parse s =
-    match Core.Profiles.of_name s with
-    | Some p -> Ok p
-    | None -> Error (`Msg (Printf.sprintf "unknown profile %S" s))
-  in
-  let print ppf p = Format.pp_print_string ppf (Core.Profiles.name p) in
-  Arg.conv (parse, print)
-
-let profile =
-  Arg.(
-    value
-    & opt profile_arg Core.Profiles.paper_uniform
-    & info [ "profile" ] ~docv:"PROFILE"
-        ~doc:"Speed profile: homogeneous, uniform, lognormal or bimodal.")
-
-let trials =
-  Arg.(
-    value & opt int 100
-    & info [ "trials" ] ~docv:"T" ~doc:"Random platforms per data point.")
-
-let seed = Arg.(value & opt int 20130520 & info [ "seed" ] ~docv:"S" ~doc:"PRNG seed.")
-
-let processors =
-  Arg.(
-    value
-    & opt (list int) Experiments.Fig4.default_processor_counts
-    & info [ "p" ] ~docv:"P,..." ~doc:"Processor counts to sweep.")
-
-let csv_file =
-  Arg.(
-    value
-    & opt (some string) None
-    & info [ "csv" ] ~docv:"FILE" ~doc:"Also write the series as CSV to $(docv).")
-
-let fig4_cmd =
-  let run profile trials seed processors csv =
-    let points =
-      Experiments.Fig4.sweep ~processor_counts:processors ~trials ~seed profile
-    in
-    Experiments.Fig4.print
-      ~title:
-        (Printf.sprintf "Figure 4 reproduction, %s speeds (%d trials/point)"
-           (Core.Profiles.name profile) trials)
-      points;
-    match csv with
-    | None -> ()
-    | Some path ->
-        let header, rows = Experiments.Fig4.csv points in
-        Experiments.Csv_out.write ~path ~header ~rows;
-        Printf.printf "\nCSV written to %s\n" path
-  in
-  Cmd.v
-    (Cmd.info "fig4" ~doc:"Reproduce the Figure 4 communication-ratio sweep.")
-    (wrap Term.(const run $ profile $ trials $ seed $ processors $ csv_file))
-
-let nonlinear_cmd =
-  let alphas =
-    Arg.(
-      value & opt (list float) [ 1.5; 2.; 3. ]
-      & info [ "alpha" ] ~docv:"A,..." ~doc:"Cost exponents.")
-  in
-  let run alphas processors =
-    Experiments.Nonlinear_exp.print
-      (Experiments.Nonlinear_exp.run ~alphas ~processor_counts:processors ())
-  in
-  let default_p = [ 2; 4; 16; 64; 256 ] in
-  let processors =
-    Arg.(value & opt (list int) default_p & info [ "p" ] ~docv:"P,..." ~doc:"Worker counts.")
-  in
-  Cmd.v
-    (Cmd.info "nonlinear" ~doc:"E1: the no-free-lunch fraction for N^alpha loads.")
-    (wrap Term.(const run $ alphas $ processors))
-
-let sort_cmd =
-  let sizes =
-    Arg.(
-      value
-      & opt (list int) [ 10_000; 100_000; 1_000_000 ]
-      & info [ "n" ] ~docv:"N,..." ~doc:"Input sizes.")
-  in
-  let processors =
-    Arg.(value & opt (list int) [ 4; 16; 64 ] & info [ "p" ] ~docv:"P,..." ~doc:"Worker counts.")
-  in
-  let run sizes processors =
-    Experiments.Sorting_exp.print
-      (Experiments.Sorting_exp.run ~sizes ~processor_counts:processors ());
-    Experiments.Sorting_exp.print_hetero
-      (Experiments.Sorting_exp.run_hetero ~processor_counts:processors ())
-  in
-  Cmd.v
-    (Cmd.info "sort" ~doc:"E2: sorting as an almost-divisible load.")
-    (wrap Term.(const run $ sizes $ processors))
-
-let ratio_cmd =
-  let factors =
-    Arg.(
-      value
-      & opt (list float) [ 1.; 4.; 9.; 16.; 25.; 49.; 100. ]
-      & info [ "k" ] ~docv:"K,..." ~doc:"Fast/slow speed factors.")
-  in
-  let p = Arg.(value & opt int 20 & info [ "p" ] ~docv:"P" ~doc:"Platform size.") in
-  let run factors p =
-    Experiments.Ratio_exp.print_bimodal (Experiments.Ratio_exp.run_bimodal ~p ~factors ());
-    Experiments.Ratio_exp.print_general (Experiments.Ratio_exp.run_general ())
-  in
-  Cmd.v
-    (Cmd.info "ratio" ~doc:"E3: the Commhom/Commhet ratio bounds.")
-    (wrap Term.(const run $ factors $ p))
-
-let partition_cmd =
-  let speeds =
-    Arg.(
-      value
-      & opt (list float) [ 1.; 1.; 2.; 4.; 4.; 12. ]
-      & info [ "speeds" ] ~docv:"S,..." ~doc:"Worker speeds.")
-  in
-  let platform_file =
-    Arg.(
-      value
-      & opt (some file) None
-      & info [ "platform" ] ~docv:"FILE"
-          ~doc:"Read the platform from $(docv) (one worker per line: speed [bandwidth \
-                [latency]]); overrides --speeds.")
-  in
-  let run platform_file speeds =
-    let star =
-      match platform_file with
-      | None -> Core.Star.of_speeds speeds
-      | Some path -> (
-          match Platform.Parse.of_file path with
-          | Ok star -> star
-          | Error msg ->
-              prerr_endline ("nldl: cannot read platform: " ^ msg);
-              exit 1)
-    in
-    let layout = Core.Strategies.het_layout star in
-    print_string (Core.Layout.render layout);
-    Printf.printf "\nSum of half-perimeters %.4f, lower bound %.4f\n"
-      (Core.Layout.sum_half_perimeters layout)
-      (Core.Comm_lower_bound.peri_sum ~areas:(Core.Star.relative_speeds star));
-    let r = Core.communication_ratios star in
-    Printf.printf "Ratios to LB: het %.4f, hom %.4f, hom/k %.4f (k = %d)\n"
-      r.Core.Strategies.het r.Core.Strategies.hom r.Core.Strategies.hom_over_k
-      r.Core.Strategies.k
-  in
-  Cmd.v
-    (Cmd.info "partition" ~doc:"Partition a platform's outer-product domain (PERI-SUM).")
-    (wrap Term.(const run $ platform_file $ speeds))
-
-let mapreduce_cmd =
-  let n = Arg.(value & opt int 512 & info [ "n" ] ~docv:"N" ~doc:"Vector size.") in
-  let run n =
-    Experiments.Mapreduce_exp.print (Experiments.Mapreduce_exp.run ~n ())
-  in
-  Cmd.v
-    (Cmd.info "mapreduce" ~doc:"Affinity-aware MapReduce scheduling ablation.")
-    (wrap Term.(const run $ n))
-
-let time_cmd =
-  let run profile trials =
-    Experiments.Time_exp.print
-      ~profile:(Core.Profiles.name profile)
-      (Experiments.Time_exp.run ~trials profile)
-  in
-  let trials = Arg.(value & opt int 10 & info [ "trials" ] ~docv:"T" ~doc:"Trials per point.") in
-  Cmd.v
-    (Cmd.info "time"
-       ~doc:"E4: strategy makespans (not just volumes) as the network slows down.")
-    (wrap Term.(const run $ profile $ trials))
-
-let ablations_cmd =
-  let run () = Experiments.Ablations.print_all () in
-  Cmd.v
-    (Cmd.info "ablations"
-       ~doc:
-         "Ablation studies: partitioner choice, SUMMA panels, 2.5D replication, splitter \
-          selection, speculation, dispatch order.")
-    (wrap Term.(const run $ const ()))
 
 let command =
   let doc = "Non-Linear Divisible Loads: There is No Free Lunch — reproduction toolkit" in
   Cmd.group
     (Cmd.info "nldl" ~version:Core.version ~doc)
-    [
-      fig4_cmd; nonlinear_cmd; sort_cmd; ratio_cmd; partition_cmd; mapreduce_cmd;
-      time_cmd; ablations_cmd;
-    ]
+    (List.map Experiments.Registry.to_cmd Experiments.Catalog.all)
 
 let run () = Cmd.eval command
 

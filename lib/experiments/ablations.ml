@@ -132,7 +132,7 @@ let splitters ?(n = 100_000) ?(processor_counts = [ 8; 32 ]) ?(seed = 33) () =
       })
     processor_counts
 
-let speculation ?(sigmas = [ 0.5; 1.; 1.5 ]) ?(seeds = 20) ?(tasks = 32) ?(p = 4) () =
+let speculation ?(sigmas = [ 0.5; 1.; 1.5 ]) ?(trials = 20) ?(tasks = 32) ?(p = 4) () =
   let star = Star.of_speeds (List.init p (fun _ -> 1.)) in
   let task_set =
     Array.init tasks (fun i -> Mapreduce.Task.make ~id:i ~data_ids:[| i |] ~cost:10.)
@@ -142,7 +142,7 @@ let speculation ?(sigmas = [ 0.5; 1.; 1.5 ]) ?(seeds = 20) ?(tasks = 32) ?(p = 4
       let span speculation seed =
         let outcome =
           Mapreduce.Scheduler.run
-            ~config:{ Mapreduce.Scheduler.policy = Mapreduce.Scheduler.Fifo; speculation }
+            ~config:{ Mapreduce.Scheduler.default_config with speculation }
             ~jitter:(Rng.create ~seed (), sigma)
             star ~tasks:task_set
             ~block_size:(fun _ -> 0.1)
@@ -151,15 +151,15 @@ let speculation ?(sigmas = [ 0.5; 1.; 1.5 ]) ?(seeds = 20) ?(tasks = 32) ?(p = 4
       in
       let totals speculation =
         let spans = ref 0. and dups = ref 0 in
-        for seed = 1 to seeds do
+        for seed = 1 to trials do
           let s, d = span speculation (1000 + seed) in
           spans := !spans +. s;
           dups := !dups + d
         done;
-        (!spans /. float_of_int seeds, float_of_int !dups /. float_of_int seeds)
+        (!spans /. float_of_int trials, float_of_int !dups /. float_of_int trials)
       in
-      let plain, _ = totals false in
-      let speculative, duplicates = totals true in
+      let plain, _ = totals Mapreduce.Scheduler.Off in
+      let speculative, duplicates = totals Mapreduce.Scheduler.At_idle in
       { sigma; plain_makespan = plain; speculative_makespan = speculative; duplicates })
     sigmas
 

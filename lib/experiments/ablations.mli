@@ -65,7 +65,9 @@ val splitters :
   ?n:int -> ?processor_counts:int list -> ?seed:int -> unit -> splitter_row list
 
 val speculation :
-  ?sigmas:float list -> ?seeds:int -> ?tasks:int -> ?p:int -> unit -> speculation_row list
+  ?sigmas:float list -> ?trials:int -> ?tasks:int -> ?p:int -> unit -> speculation_row list
+(** [?trials] replaces the deprecated [?seeds] spelling (seed [1000 + t]
+    per trial, unchanged streams). *)
 
 val ordering :
   ?p:int -> ?latency_scales:float list -> ?seed:int -> unit -> ordering_row list

@@ -1,0 +1,200 @@
+open Cmdliner
+
+(* Generic JSON view of a string table: numeric-looking cells become
+   numbers so downstream tools see typed values. *)
+let json_cell s =
+  match int_of_string_opt s with
+  | Some i -> Obs.Json.Int i
+  | None -> (
+      match float_of_string_opt s with
+      | Some f -> Obs.Json.Float f
+      | None -> Obs.Json.String s)
+
+let json_of_table header rows =
+  Obs.Json.List
+    (List.map
+       (fun row -> Obs.Json.Obj (List.map2 (fun k v -> (k, json_cell v)) header row))
+       rows)
+
+let table_output header rows =
+  Registry.output ~header ~rows ~json:(json_of_table header rows)
+
+let fig4 =
+  let run profile trials seed processors () =
+    let points = Fig4.sweep ~processor_counts:processors ~trials ~seed profile in
+    Fig4.print
+      ~title:
+        (Printf.sprintf "Figure 4 reproduction, %s speeds (%d trials/point)"
+           (Platform.Profiles.name profile) trials)
+      points;
+    let header, rows = Fig4.csv points in
+    Some (table_output header rows)
+  in
+  Registry.entry ~name:"fig4"
+    ~synopsis:"Reproduce the Figure 4 communication-ratio sweep."
+    Term.(
+      const run $ Registry.profile
+      $ Registry.trials ()
+      $ Registry.seed
+      $ Registry.processor_counts ~default:Fig4.default_processor_counts)
+
+let nonlinear =
+  let alphas =
+    Arg.(
+      value & opt (list float) [ 1.5; 2.; 3. ]
+      & info [ "alpha" ] ~docv:"A,..." ~doc:"Cost exponents.")
+  in
+  let run alphas processors () =
+    Nonlinear_exp.print (Nonlinear_exp.run ~alphas ~processor_counts:processors ());
+    None
+  in
+  Registry.entry ~name:"nonlinear"
+    ~synopsis:"E1: the no-free-lunch fraction for N^alpha loads."
+    Term.(
+      const run $ alphas $ Registry.processor_counts ~default:[ 2; 4; 16; 64; 256 ])
+
+let sort =
+  let sizes =
+    Arg.(
+      value
+      & opt (list int) [ 10_000; 100_000; 1_000_000 ]
+      & info [ "n" ] ~docv:"N,..." ~doc:"Input sizes.")
+  in
+  let run sizes processors () =
+    Sorting_exp.print (Sorting_exp.run ~sizes ~processor_counts:processors ());
+    Sorting_exp.print_hetero (Sorting_exp.run_hetero ~processor_counts:processors ());
+    None
+  in
+  Registry.entry ~name:"sort" ~synopsis:"E2: sorting as an almost-divisible load."
+    Term.(const run $ sizes $ Registry.processor_counts ~default:[ 4; 16; 64 ])
+
+let ratio =
+  let factors =
+    Arg.(
+      value
+      & opt (list float) [ 1.; 4.; 9.; 16.; 25.; 49.; 100. ]
+      & info [ "k" ] ~docv:"K,..." ~doc:"Fast/slow speed factors.")
+  in
+  let p = Arg.(value & opt int 20 & info [ "p" ] ~docv:"P" ~doc:"Platform size.") in
+  let run factors p () =
+    Ratio_exp.print_bimodal (Ratio_exp.run_bimodal ~p ~factors ());
+    Ratio_exp.print_general (Ratio_exp.run_general ());
+    None
+  in
+  Registry.entry ~name:"ratio" ~synopsis:"E3: the Commhom/Commhet ratio bounds."
+    Term.(const run $ factors $ p)
+
+let partition =
+  let speeds =
+    Arg.(
+      value
+      & opt (list float) [ 1.; 1.; 2.; 4.; 4.; 12. ]
+      & info [ "speeds" ] ~docv:"S,..." ~doc:"Worker speeds.")
+  in
+  let platform_file =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "platform" ] ~docv:"FILE"
+          ~doc:"Read the platform from $(docv) (one worker per line: speed [bandwidth \
+                [latency]]); overrides --speeds.")
+  in
+  let run platform_file speeds () =
+    let star =
+      match platform_file with
+      | None -> Platform.Star.of_speeds speeds
+      | Some path -> (
+          match Platform.Parse.of_file path with
+          | Ok star -> star
+          | Error msg ->
+              prerr_endline ("nldl: cannot read platform: " ^ msg);
+              exit 1)
+    in
+    let layout = Partition.Strategies.het_layout star in
+    print_string (Partition.Layout.render layout);
+    Printf.printf "\nSum of half-perimeters %.4f, lower bound %.4f\n"
+      (Partition.Layout.sum_half_perimeters layout)
+      (Partition.Lower_bound.peri_sum ~areas:(Platform.Star.relative_speeds star));
+    let r = Partition.Strategies.evaluate star in
+    Printf.printf "Ratios to LB: het %.4f, hom %.4f, hom/k %.4f (k = %d)\n"
+      r.Partition.Strategies.het r.Partition.Strategies.hom
+      r.Partition.Strategies.hom_over_k r.Partition.Strategies.k;
+    None
+  in
+  Registry.entry ~name:"partition"
+    ~synopsis:"Partition a platform's outer-product domain (PERI-SUM)."
+    Term.(const run $ platform_file $ speeds)
+
+let mapreduce =
+  let n = Arg.(value & opt int 512 & info [ "n" ] ~docv:"N" ~doc:"Vector size.") in
+  let run n () =
+    Mapreduce_exp.print (Mapreduce_exp.run ~n ());
+    None
+  in
+  Registry.entry ~name:"mapreduce"
+    ~synopsis:"Affinity-aware MapReduce scheduling ablation."
+    Term.(const run $ n)
+
+let time =
+  let run profile trials () =
+    Time_exp.print
+      ~profile:(Platform.Profiles.name profile)
+      (Time_exp.run ~trials profile);
+    None
+  in
+  Registry.entry ~name:"time"
+    ~synopsis:"E4: strategy makespans (not just volumes) as the network slows down."
+    Term.(const run $ Registry.profile $ Registry.trials ~default:10 ())
+
+let ablations =
+  let run () () =
+    Ablations.print_all ();
+    None
+  in
+  Registry.entry ~name:"ablations"
+    ~synopsis:
+      "Ablation studies: partitioner choice, SUMMA panels, 2.5D replication, splitter \
+       selection, speculation, dispatch order."
+    Term.(const run $ const ())
+
+let faults =
+  let tasks =
+    Arg.(value & opt int 24 & info [ "tasks" ] ~docv:"N" ~doc:"Map tasks per trial.")
+  in
+  let p = Arg.(value & opt int 4 & info [ "p" ] ~docv:"P" ~doc:"Platform size.") in
+  let crash_rates =
+    Arg.(
+      value
+      & opt (list float) [ 0.; 0.3; 0.6 ]
+      & info [ "crash-rates" ] ~docv:"R,..." ~doc:"Per-worker crash probabilities.")
+  in
+  let sigmas =
+    Arg.(
+      value & opt (list float) [ 0.; 0.8 ]
+      & info [ "sigmas" ] ~docv:"S,..." ~doc:"Straggler-jitter sigmas.")
+  in
+  let fetch_failure =
+    Arg.(
+      value & opt float 0.05
+      & info [ "fetch-failure" ] ~docv:"Q" ~doc:"Per-link fetch-failure probability.")
+  in
+  let run tasks p crash_rates sigmas fetch_failure trials seed domains () =
+    let rows =
+      Faults_exp.run ~tasks ~p ~crash_rates ~sigmas ~fetch_failure ~trials ~seed
+        ?domains ()
+    in
+    Faults_exp.print rows;
+    let header, csv_rows = Faults_exp.csv rows in
+    Some (Registry.output ~header ~rows:csv_rows ~json:(Faults_exp.json rows))
+  in
+  Registry.entry ~name:"faults"
+    ~synopsis:
+      "Robustness: makespan degradation under injected crashes, stragglers and fetch \
+       failures."
+    Term.(
+      const run $ tasks $ p $ crash_rates $ sigmas $ fetch_failure
+      $ Registry.trials ~default:5 ()
+      $ Registry.seed $ Registry.domains)
+
+let all =
+  [ fig4; nonlinear; sort; ratio; partition; mapreduce; time; ablations; faults ]

@@ -1,0 +1,7 @@
+(** The experiment catalog: every [nldl] subcommand as a
+    {!Registry.entry}.  The CLI driver folds {!Registry.to_cmd} over
+    {!all}; to add a subcommand, add its entry here. *)
+
+val all : Registry.entry list
+(** In help order: fig4, nonlinear, sort, ratio, partition, mapreduce,
+    time, ablations, faults. *)

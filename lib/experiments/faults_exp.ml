@@ -1,0 +1,167 @@
+module Rng = Numerics.Rng
+module Scheduler = Mapreduce.Scheduler
+
+type row = {
+  crash_rate : float;
+  sigma : float;
+  policy : string;
+  makespan : float;
+  degradation : float;
+  wasted : float;
+  retries : float;
+  crashes : float;
+  unfinished : float;
+}
+
+let policies =
+  [
+    ("off", Scheduler.Off);
+    ("at-idle", Scheduler.At_idle);
+    ("late", Scheduler.Late { threshold = 0.25 });
+  ]
+
+let run ?(tasks = 24) ?(p = 4) ?(crash_rates = [ 0.; 0.3; 0.6 ])
+    ?(sigmas = [ 0.; 0.8 ]) ?(fetch_failure = 0.05) ?(trials = 5) ?(seed = 4242)
+    ?domains () =
+  let star = Platform.Star.of_speeds (List.init p (fun _ -> 1.)) in
+  let task_set =
+    Array.init tasks (fun i -> Mapreduce.Task.make ~id:i ~data_ids:[| i |] ~cost:10.)
+  in
+  let block_size _ = 2. in
+  let rng = Rng.create ~seed () in
+  let n_pol = List.length policies in
+  let rows = ref [] in
+  List.iter
+    (fun crash_rate ->
+      List.iter
+        (fun sigma ->
+          let base = Array.make trials 0. in
+          let mk = Array.make_matrix n_pol trials 0. in
+          let wa = Array.make_matrix n_pol trials 0. in
+          let re = Array.make_matrix n_pol trials 0. in
+          let cr = Array.make_matrix n_pol trials 0. in
+          let un = Array.make_matrix n_pol trials 0. in
+          (* Pre-split per-trial RNGs in sequential order, then run the
+             trials on the domain pool: same streams, same output. *)
+          let rngs = Array.make trials rng in
+          for t = 0 to trials - 1 do
+            rngs.(t) <- Rng.split rng
+          done;
+          Numerics.Parallel.parallel_for ?domains trials (fun t ->
+              Obs.Trace.begin_span "faults.trial";
+              let trial_rng = rngs.(t) in
+              let jitter_rng = Rng.split trial_rng in
+              let plan_rng = Rng.split trial_rng in
+              (* Fault-free baseline: calibrates the plan horizon and
+                 the degradation denominator, same jitter stream. *)
+              let baseline =
+                Scheduler.run
+                  ~jitter:(Rng.copy jitter_rng, sigma)
+                  star ~tasks:task_set ~block_size
+              in
+              base.(t) <- baseline.Scheduler.makespan;
+              let horizon = Float.max baseline.Scheduler.makespan 1. in
+              let plan =
+                Fault.Plan.generate ~rng:plan_rng ~p ~horizon ~crash_rate
+                  ~fetch_failure ()
+              in
+              List.iteri
+                (fun k (_, speculation) ->
+                  let config = { Scheduler.default_config with speculation } in
+                  let o =
+                    Scheduler.run ~config
+                      ~jitter:(Rng.copy jitter_rng, sigma)
+                      ~faults:plan star ~tasks:task_set ~block_size
+                  in
+                  mk.(k).(t) <- o.Scheduler.makespan;
+                  wa.(k).(t) <- o.Scheduler.wasted_work;
+                  re.(k).(t) <- float_of_int o.Scheduler.retries;
+                  cr.(k).(t) <- float_of_int o.Scheduler.crashes_survived;
+                  un.(k).(t) <- float_of_int (List.length o.Scheduler.unfinished))
+                policies;
+              Obs.Trace.end_span "faults.trial");
+          let mean = Numerics.Stats.mean in
+          let base_mean = Float.max (mean base) 1e-9 in
+          List.iteri
+            (fun k (name, _) ->
+              rows :=
+                {
+                  crash_rate;
+                  sigma;
+                  policy = name;
+                  makespan = mean mk.(k);
+                  degradation = mean mk.(k) /. base_mean;
+                  wasted = mean wa.(k);
+                  retries = mean re.(k);
+                  crashes = mean cr.(k);
+                  unfinished = mean un.(k);
+                }
+                :: !rows)
+            policies)
+        sigmas)
+    crash_rates;
+  List.rev !rows
+
+let print rows =
+  Report.section "Robustness: makespan degradation under injected faults";
+  let table =
+    Numerics.Ascii_table.create
+      ~headers:
+        [ "crash rate"; "sigma"; "policy"; "makespan"; "degradation"; "wasted";
+          "retries"; "crashes"; "unfinished" ]
+  in
+  List.iter
+    (fun r ->
+      Numerics.Ascii_table.add_row table
+        [
+          Report.float_cell r.crash_rate;
+          Report.float_cell r.sigma;
+          r.policy;
+          Report.float_cell ~digits:5 r.makespan;
+          Report.float_cell ~digits:4 r.degradation;
+          Report.float_cell ~digits:3 r.wasted;
+          Report.float_cell ~digits:2 r.retries;
+          Report.float_cell ~digits:2 r.crashes;
+          Report.float_cell ~digits:2 r.unfinished;
+        ])
+    rows;
+  Numerics.Ascii_table.print table
+
+let header =
+  [ "crash_rate"; "sigma"; "policy"; "makespan"; "degradation"; "wasted_work";
+    "retries"; "crashes_survived"; "unfinished" ]
+
+let csv rows =
+  ( header,
+    List.map
+      (fun r ->
+        [
+          Printf.sprintf "%g" r.crash_rate;
+          Printf.sprintf "%g" r.sigma;
+          r.policy;
+          Printf.sprintf "%.6f" r.makespan;
+          Printf.sprintf "%.6f" r.degradation;
+          Printf.sprintf "%.6f" r.wasted;
+          Printf.sprintf "%g" r.retries;
+          Printf.sprintf "%g" r.crashes;
+          Printf.sprintf "%g" r.unfinished;
+        ])
+      rows )
+
+let json rows =
+  Obs.Json.List
+    (List.map
+       (fun r ->
+         Obs.Json.Obj
+           [
+             ("crash_rate", Obs.Json.Float r.crash_rate);
+             ("sigma", Obs.Json.Float r.sigma);
+             ("policy", Obs.Json.String r.policy);
+             ("makespan", Obs.Json.Float r.makespan);
+             ("degradation", Obs.Json.Float r.degradation);
+             ("wasted_work", Obs.Json.Float r.wasted);
+             ("retries", Obs.Json.Float r.retries);
+             ("crashes_survived", Obs.Json.Float r.crashes);
+             ("unfinished", Obs.Json.Float r.unfinished);
+           ])
+       rows)

@@ -40,7 +40,7 @@ let run ?(n = 512) ?(chunk = 16) ?(processor_counts = [ 4; 16 ]) ?(trials = 3) ?
             let job = Mapreduce.Jobs.outer_product ~a ~b ~chunk in
             let run_with policy =
               Mapreduce.Scheduler.run
-                ~config:{ Mapreduce.Scheduler.policy; speculation = false }
+                ~config:{ Mapreduce.Scheduler.default_config with policy }
                 star ~tasks:job.Mapreduce.Engine.tasks
                 ~block_size:job.Mapreduce.Engine.block_size
             in

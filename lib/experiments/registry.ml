@@ -1,0 +1,149 @@
+open Cmdliner
+
+type output = {
+  header : string list;
+  rows : string list list;
+  json : Obs.Json.t;
+}
+
+type entry = {
+  name : string;
+  synopsis : string;
+  term : (unit -> output option) Term.t;
+}
+
+let output ~header ~rows ~json = { header; rows; json }
+let entry ~name ~synopsis term = { name; synopsis; term }
+
+(* --- shared argument terms --- *)
+
+let profile_conv =
+  let parse s =
+    match Platform.Profiles.of_name s with
+    | Some p -> Ok p
+    | None -> Error (`Msg (Printf.sprintf "unknown profile %S" s))
+  in
+  let print ppf p = Format.pp_print_string ppf (Platform.Profiles.name p) in
+  Arg.conv (parse, print)
+
+let profile =
+  Arg.(
+    value
+    & opt profile_conv Platform.Profiles.paper_uniform
+    & info [ "profile" ] ~docv:"PROFILE"
+        ~doc:"Speed profile: homogeneous, uniform, lognormal or bimodal.")
+
+let trials ?(default = 100) () =
+  Arg.(
+    value & opt int default
+    & info [ "trials" ] ~docv:"T" ~doc:"Repetitions per data point.")
+
+let seed =
+  Arg.(value & opt int 20130520 & info [ "seed" ] ~docv:"S" ~doc:"PRNG seed.")
+
+let processor_counts ~default =
+  Arg.(
+    value & opt (list int) default
+    & info [ "p" ] ~docv:"P,..." ~doc:"Processor counts to sweep.")
+
+let domains =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "domains" ] ~docv:"D" ~doc:"Domain-pool size for parallel trial loops.")
+
+(* --- per-command plumbing: logging, observability, table dumps --- *)
+
+let setup_logs verbosity =
+  let level =
+    match verbosity with 0 -> Some Logs.Warning | 1 -> Some Logs.Info | _ -> Some Logs.Debug
+  in
+  Logs.set_level level;
+  Logs.set_reporter (Logs.format_reporter ())
+
+let verbosity =
+  Arg.(value & flag_all & info [ "v"; "verbose" ] ~doc:"Increase log verbosity (repeatable).")
+
+let logs_term = Term.(const setup_logs $ (const List.length $ verbosity))
+
+let trace_file =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:"Record runtime spans and write a Chrome trace-event JSON to $(docv).")
+
+let metrics_file =
+  Arg.(
+    value
+    & opt ~vopt:(Some "-") (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:"Collect runtime metrics; write the snapshot to $(docv) (\"-\" = stdout).")
+
+let setup_obs trace metrics =
+  if trace <> None then Obs.Trace.set_enabled true;
+  if metrics <> None then Obs.Metrics.set_enabled true;
+  (trace, metrics)
+
+let obs_term = Term.(const setup_obs $ trace_file $ metrics_file)
+
+let finish_obs (trace, metrics) =
+  (match trace with
+  | None -> ()
+  | Some path ->
+      Obs.Trace.set_enabled false;
+      Obs.Export.write_trace path;
+      let dropped = Obs.Trace.dropped () in
+      if dropped > 0 then
+        Printf.eprintf "nldl: trace ring buffers dropped %d events\n%!" dropped;
+      Printf.eprintf "Trace written to %s\n%!" path);
+  match metrics with
+  | None -> ()
+  | Some "-" -> print_endline (Obs.Json.to_string (Obs.Export.metrics_json ()))
+  | Some path ->
+      Obs.Export.write_metrics path;
+      Printf.eprintf "Metrics written to %s\n%!" path
+
+let csv_file =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "csv" ] ~docv:"FILE" ~doc:"Also write the series as CSV to $(docv).")
+
+let json_file =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE" ~doc:"Also write the series as JSON to $(docv).")
+
+let dump name out csv json =
+  let missing flag =
+    Printf.eprintf "nldl %s: --%s requested but this command returns no table\n%!" name
+      flag
+  in
+  (match (csv, out) with
+  | None, _ -> ()
+  | Some _, None -> missing "csv"
+  | Some path, Some o ->
+      Csv_out.write ~path ~header:o.header ~rows:o.rows;
+      Printf.eprintf "CSV written to %s\n%!" path);
+  match (json, out) with
+  | None, _ -> ()
+  | Some _, None -> missing "json"
+  | Some path, Some o ->
+      Obs.Json.write_file path
+        (Obs.Json.Obj [ ("experiment", Obs.Json.String name); ("rows", o.json) ]);
+      Printf.eprintf "JSON written to %s\n%!" path
+
+let to_cmd e =
+  (* cmdliner evaluates [$] arguments left to right, so the logging and
+     observability setup run before the command body, and the
+     trace/metrics files are flushed after it returns. *)
+  let run () obs csv json thunk =
+    let out = thunk () in
+    dump e.name out csv json;
+    finish_obs obs
+  in
+  Cmd.v
+    (Cmd.info e.name ~doc:e.synopsis)
+    Term.(const run $ logs_term $ obs_term $ csv_file $ json_file $ e.term)

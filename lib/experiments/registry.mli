@@ -1,0 +1,66 @@
+(** First-class experiment registry.
+
+    Each CLI subcommand is an {!entry} value: a name, a one-line
+    synopsis, and a Cmdliner term evaluating to a thunk that runs the
+    experiment, prints its human-readable report, and returns its
+    series as an {!output} table (or [None] for free-form commands).
+    The driver builds its subcommand group by folding {!to_cmd} over
+    {!Catalog.all} — adding an experiment means adding one entry to the
+    catalog, never editing the driver's dispatch.
+
+    {!to_cmd} equips every entry uniformly with:
+    - [-v]/[--verbose] log verbosity (repeatable);
+    - [--trace FILE] Chrome trace-event JSON (Perfetto-loadable) and
+      [--metrics[=FILE]] runtime-metrics snapshot;
+    - [--csv FILE] and [--json FILE] dumps of the returned {!output}.
+
+    {b Optional-argument convention} (shared arg terms below mirror it;
+    every experiment's [run] follows the same spellings):
+    - [?processor_counts] — worker counts to sweep (flag [-p P,...]);
+    - [?trials] — repetitions per data point (flag [--trials T]; the
+      one-off [?seeds] spelling is deprecated and gone);
+    - [?seed] — root PRNG seed (flag [--seed S]);
+    - [?domains] — domain-pool size for parallel trial loops. *)
+
+type output = {
+  header : string list;
+  rows : string list list;  (** same width as [header] *)
+  json : Obs.Json.t;
+}
+
+type entry = {
+  name : string;
+  synopsis : string;
+  term : (unit -> output option) Cmdliner.Term.t;
+}
+
+val output : header:string list -> rows:string list list -> json:Obs.Json.t -> output
+val entry : name:string -> synopsis:string -> (unit -> output option) Cmdliner.Term.t -> entry
+
+(** {1 Shared argument terms} *)
+
+val profile : Platform.Profiles.t Cmdliner.Term.t
+(** [--profile PROFILE]: homogeneous, uniform, lognormal or bimodal;
+    defaults to the paper's uniform profile. *)
+
+val trials : ?default:int -> unit -> int Cmdliner.Term.t
+(** [--trials T], default 100. *)
+
+val seed : int Cmdliner.Term.t
+(** [--seed S], default 20130520. *)
+
+val processor_counts : default:int list -> int list Cmdliner.Term.t
+(** [-p P,...]. *)
+
+val domains : int option Cmdliner.Term.t
+(** [--domains D]: domain-pool size for parallel trial loops; default
+    lets the experiment pick. *)
+
+(** {1 Driver assembly} *)
+
+val to_cmd : entry -> unit Cmdliner.Cmd.t
+(** Wrap an entry into a complete subcommand: logging and
+    trace/metrics setup run before the body, the trace/metrics files
+    are flushed after it, and [--csv]/[--json] write the returned
+    table (a diagnostic is printed when the flag is given but the
+    command returned no table). *)

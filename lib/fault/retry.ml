@@ -1,0 +1,9 @@
+type t = Exec.Pool.retry = {
+  max_attempts : int;
+  base_delay : float;
+  max_delay : float;
+  deadline : float option;
+}
+
+let default = Exec.Pool.default_retry
+let delay = Exec.Pool.backoff_delay

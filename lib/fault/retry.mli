@@ -1,0 +1,21 @@
+(** Retry/backoff policy — the shared vocabulary of the real and
+    simulated execution paths.
+
+    The type is an alias of [Exec.Pool.retry], so the policy handed to
+    [Pool.submit ~retry] (real domains, delays in seconds) and the one
+    inside [Mapreduce.Scheduler.config] (simulated platform, delays in
+    simulated time units) are literally the same record. *)
+
+type t = Exec.Pool.retry = {
+  max_attempts : int;  (** total tries, >= 1 *)
+  base_delay : float;  (** delay before the first retry; 0 = immediate *)
+  max_delay : float;  (** cap on the exponential backoff *)
+  deadline : float option;  (** stop retrying past this elapsed time *)
+}
+
+val default : t
+(** [Exec.Pool.default_retry]: 3 attempts, no delay, no deadline. *)
+
+val delay : t -> attempt:int -> float
+(** Capped exponential backoff after the [attempt]-th (1-based)
+    failure: [base_delay * 2^(attempt-1)], at most [max_delay]. *)

@@ -62,6 +62,26 @@ let test_fig4_csv () =
       close_in ic;
       checkb "csv written" true (String.length header > 0))
 
+let test_faults_json () =
+  (* The registry-built faults command emits parseable JSON rows. *)
+  let path = Filename.temp_file "nldl" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      expect_ok
+        [|
+          "nldl"; "faults"; "--trials"; "2"; "--crash-rates"; "0.5"; "--sigmas"; "0.5";
+          "--tasks"; "8"; "--json"; path;
+        |];
+      let doc = In_channel.with_open_text path In_channel.input_all in
+      match Obs.Json.of_string doc with
+      | Error msg -> Alcotest.failf "invalid JSON: %s" msg
+      | Ok json ->
+          checkb "has rows" true
+            (match Obs.Json.member "rows" json with
+            | Some (Obs.Json.List (_ :: _)) -> true
+            | _ -> false))
+
 let test_nonlinear_runs () =
   expect_ok [| "nldl"; "nonlinear"; "--alpha"; "2"; "-p"; "2,4" |]
 
@@ -86,6 +106,7 @@ let suites =
         Alcotest.test_case "partition from file" `Quick test_partition_platform_file;
         Alcotest.test_case "fig4 small" `Quick test_fig4_small_run;
         Alcotest.test_case "fig4 csv" `Quick test_fig4_csv;
+        Alcotest.test_case "faults json" `Quick test_faults_json;
         Alcotest.test_case "nonlinear" `Quick test_nonlinear_runs;
         Alcotest.test_case "ratio" `Quick test_ratio_runs;
         Alcotest.test_case "unknown command" `Quick test_unknown_command;

@@ -239,9 +239,9 @@ let test_jitter_speculation_rescues () =
      makespan. *)
   let star = Platform.Star.of_speeds [ 1.; 1.; 1.; 1. ] in
   let tasks = Array.init 24 (fun i -> Mapreduce.Task.make ~id:i ~data_ids:[| i |] ~cost:10.) in
-  let total policy_speculation seed =
+  let total speculation seed =
     (Mapreduce.Scheduler.run
-       ~config:{ Mapreduce.Scheduler.policy = Mapreduce.Scheduler.Fifo; speculation = policy_speculation }
+       ~config:{ Mapreduce.Scheduler.default_config with speculation }
        ~jitter:(Rng.create ~seed (), 1.5)
        star ~tasks ~block_size:(fun _ -> 0.1))
       .Mapreduce.Scheduler.makespan
@@ -250,7 +250,8 @@ let test_jitter_speculation_rescues () =
   let sum speculation =
     List.fold_left (fun acc seed -> acc +. total speculation seed) 0. seeds
   in
-  checkb "speculation cuts expected makespan" true (sum true < sum false)
+  checkb "speculation cuts expected makespan" true
+    (sum Mapreduce.Scheduler.At_idle < sum Mapreduce.Scheduler.Off)
 
 let suites =
   [

@@ -73,7 +73,7 @@ let test_affinity_prefers_cached () =
       Task.make ~id:2 ~data_ids:[| 0 |] ~cost:1.;
     |]
   in
-  let config = { Scheduler.policy = Scheduler.Affinity; speculation = false } in
+  let config = { Scheduler.default_config with policy = Scheduler.Affinity } in
   let outcome = Scheduler.run ~config star ~tasks ~block_size:(fun _ -> 5.) in
   let order = List.map (fun a -> a.Scheduler.task) outcome.Scheduler.assignments in
   Alcotest.(check (list int)) "affinity order" [ 0; 2; 1 ] order
@@ -86,7 +86,7 @@ let test_affinity_reduces_comm () =
     Array.init 64 (fun i -> Task.make ~id:i ~data_ids:[| i mod 8; 8 + (i / 8) |] ~cost:4.)
   in
   let run policy =
-    (Scheduler.run ~config:{ Scheduler.policy; speculation = false } star ~tasks
+    (Scheduler.run ~config:{ Scheduler.default_config with policy } star ~tasks
        ~block_size:(fun _ -> 3.))
       .Scheduler.communication
   in
@@ -100,7 +100,7 @@ let test_speculation_duplicates_straggler () =
   let plain = Scheduler.run star ~tasks ~block_size:unit_block in
   let spec =
     Scheduler.run
-      ~config:{ Scheduler.policy = Scheduler.Fifo; speculation = true }
+      ~config:{ Scheduler.default_config with speculation = Scheduler.At_idle }
       star ~tasks ~block_size:unit_block
   in
   checkb "speculation launched" true (spec.Scheduler.duplicates > 0);
@@ -114,7 +114,7 @@ let test_speculation_never_hurts_completion () =
   let plain = Scheduler.run star ~tasks ~block_size:unit_block in
   let spec =
     Scheduler.run
-      ~config:{ Scheduler.policy = Scheduler.Fifo; speculation = true }
+      ~config:{ Scheduler.default_config with speculation = Scheduler.At_idle }
       star ~tasks ~block_size:unit_block
   in
   checkb "makespan not worse" true

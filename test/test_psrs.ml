@@ -80,7 +80,12 @@ let test_affinity_with_speculation_and_jitter () =
   in
   let outcome =
     Mapreduce.Scheduler.run
-      ~config:{ Mapreduce.Scheduler.policy = Mapreduce.Scheduler.Affinity; speculation = true }
+      ~config:
+        {
+          Mapreduce.Scheduler.default_config with
+          policy = Mapreduce.Scheduler.Affinity;
+          speculation = Mapreduce.Scheduler.At_idle;
+        }
       ~jitter:(Rng.create ~seed:9 (), 1.)
       star ~tasks
       ~block_size:(fun _ -> 2.)
