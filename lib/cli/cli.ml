@@ -10,11 +10,29 @@
 
 open Cmdliner
 
+(* The one non-experiment subcommand: the static invariant checker,
+   registered through the same Registry plumbing so it gets -v,
+   --trace/--metrics and --csv/--json for free.  Its exit status is the
+   gate result, so `nldl lint` can serve as a CI step directly. *)
+let lint_entry =
+  let run thunk () =
+    let o : Lint.Cmd.outcome = thunk () in
+    ( Some
+        (Experiments.Registry.output ~header:o.Lint.Cmd.header
+           ~rows:o.Lint.Cmd.rows ~json:o.Lint.Cmd.out_json),
+      o.Lint.Cmd.status )
+  in
+  Experiments.Registry.gated ~name:"lint"
+    ~synopsis:
+      "Statically check the tree's determinism, unsafe-zone and domain-safety \
+       invariants."
+    Term.(const run $ Lint.Cmd.embedded_term)
+
 let command =
   let doc = "Non-Linear Divisible Loads: There is No Free Lunch — reproduction toolkit" in
   Cmd.group
     (Cmd.info "nldl" ~version:Core.version ~doc)
-    (List.map Experiments.Registry.to_cmd Experiments.Catalog.all)
+    (List.map Experiments.Registry.to_cmd (Experiments.Catalog.all @ [ lint_entry ]))
 
 let run () = Cmd.eval command
 

@@ -1,3 +1,8 @@
+(* The [n = 0.] / [a = 1.] tests below are exact boundary-case guards
+   (0 ** alpha and the alpha = 1 degenerate model), not tolerance
+   comparisons. *)
+[@@@nldl.allow "H302"]
+
 type t = Linear | Power of float | N_log_n
 
 let log2 x = log x /. log 2.

@@ -409,6 +409,9 @@ let stats pool =
    not want to manage a pool of its own.  Grown on demand when a caller
    asks for more domains than it currently has; torn down at exit. *)
 let global : t option ref = ref None
+[@@nldl.allow "S201"] (* only touched from the orchestrating domain: workers
+                         never call get_global, and pool creation/growth happens
+                         before any parallel section runs *)
 
 let get_global ?(at_least = 1) () =
   match !global with

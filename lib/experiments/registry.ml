@@ -9,11 +9,15 @@ type output = {
 type entry = {
   name : string;
   synopsis : string;
-  term : (unit -> output option) Term.t;
+  term : (unit -> output option * int) Term.t;
 }
 
 let output ~header ~rows ~json = { header; rows; json }
-let entry ~name ~synopsis term = { name; synopsis; term }
+
+let entry ~name ~synopsis term =
+  { name; synopsis; term = Term.(const (fun f () -> (f (), 0)) $ term) }
+
+let gated ~name ~synopsis term = { name; synopsis; term }
 
 (* --- shared argument terms --- *)
 
@@ -140,9 +144,12 @@ let to_cmd e =
      observability setup run before the command body, and the
      trace/metrics files are flushed after it returns. *)
   let run () obs csv json thunk =
-    let out = thunk () in
+    let out, status = thunk () in
     dump e.name out csv json;
-    finish_obs obs
+    finish_obs obs;
+    (* Gated commands (nldl lint) carry the gate result in their exit
+       code; exiting after the flushes keeps --trace/--json intact. *)
+    if status <> 0 then exit status
   in
   Cmd.v
     (Cmd.info e.name ~doc:e.synopsis)

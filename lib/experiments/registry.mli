@@ -31,11 +31,19 @@ type output = {
 type entry = {
   name : string;
   synopsis : string;
-  term : (unit -> output option) Cmdliner.Term.t;
+  term : (unit -> output option * int) Cmdliner.Term.t;
+      (** thunk result: optional table, exit status *)
 }
 
 val output : header:string list -> rows:string list list -> json:Obs.Json.t -> output
+
 val entry : name:string -> synopsis:string -> (unit -> output option) Cmdliner.Term.t -> entry
+(** Ordinary experiment: always exits 0. *)
+
+val gated : name:string -> synopsis:string -> (unit -> output option * int) Cmdliner.Term.t -> entry
+(** Command whose thunk also decides the process exit status (e.g.
+    [nldl lint] failing on new findings); a non-zero status is applied
+    with [exit] after the trace/metrics/csv/json flushes. *)
 
 (** {1 Shared argument terms} *)
 

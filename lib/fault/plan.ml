@@ -167,7 +167,7 @@ let slowdowns t = Array.to_list t.slowdowns |> List.concat
 let is_none t =
   Array.length t.crashes = 0
   && Array.for_all (fun l -> l = []) t.slowdowns
-  && Array.for_all (fun q -> q = 0.) t.fetch_failure
+  && Array.for_all (fun q -> (q = 0.) [@nldl.allow "H302"] (* exact: unset *)) t.fetch_failure
 
 let in_range t w = w >= 0 && w < t.p
 

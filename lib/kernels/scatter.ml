@@ -4,6 +4,11 @@
    because generic access to an unboxed [float array] boxes every read,
    which would reintroduce the O(n) allocation this layer removes. *)
 
+[@@@nldl.unsafe_zone
+  "binary-search cursors stay in [0, |splitters|] by the loop invariant, and \
+   scatter writes land inside the preallocated [data] because cursors come from \
+   histogram + exclusive prefix sums over the same keys (U-audit 2026-08)"]
+
 type 'a t = { data : 'a array; offsets : int array }
 
 let num_buckets t = Array.length t.offsets - 1

@@ -4,6 +4,11 @@
    element, so a shared polymorphic implementation would allocate O(len)
    words per sort. *)
 
+[@@@nldl.unsafe_zone
+  "every entry point runs check_bounds on (lo, len) before the unchecked \
+   introsort/heapsort/insertion loops, whose indices stay inside the validated \
+   segment by the partition invariants (U-audit 2026-08)"]
+
 let check_bounds name data ~lo ~len =
   if lo < 0 || len < 0 || lo + len > Array.length data then
     invalid_arg (name ^ ": segment out of bounds")

@@ -74,7 +74,7 @@ let mul a b =
   for i = 0 to a.rows - 1 do
     for k = 0 to a.cols - 1 do
       let aik = a.data.((i * a.cols) + k) in
-      if aik <> 0. then
+      if (aik <> 0.) [@nldl.allow "H302"] (* exact sparse skip *) then
         for j = 0 to b.cols - 1 do
           c.data.((i * c.cols) + j) <-
             c.data.((i * c.cols) + j) +. (aik *. b.data.((k * b.cols) + j))
@@ -100,7 +100,7 @@ let mul_blocked ?(block = 32) a b =
         for i = !bi to i_hi - 1 do
           for k = !bk to k_hi - 1 do
             let aik = a.data.((i * kk) + k) in
-            if aik <> 0. then
+            if (aik <> 0.) [@nldl.allow "H302"] (* exact sparse skip *) then
               for j = !bj to j_hi - 1 do
                 c.data.((i * m) + j) <- c.data.((i * m) + j) +. (aik *. b.data.((k * m) + j))
               done

@@ -1,3 +1,8 @@
+[@@@nldl.unsafe_zone
+  "distributed runs Zone.validate_tiling and demand_driven_blocks checks the \
+   block schedule (n_side divides n, enough owners) before the unchecked rank-1 \
+   fill loops (U-audit 2026-08)"]
+
 type stats = { per_worker : int array; total : int; result : Matrix.t }
 
 let sequential a b = Matrix.outer a b

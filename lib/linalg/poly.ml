@@ -4,7 +4,7 @@ let schoolbook a b =
   let result = Array.make (na + nb - 1) 0. in
   for i = 0 to na - 1 do
     let ai = a.(i) in
-    if ai <> 0. then
+    if (ai <> 0.) [@nldl.allow "H302"] (* exact sparse skip *) then
       for j = 0 to nb - 1 do
         result.(i + j) <- result.(i + j) +. (ai *. b.(j))
       done

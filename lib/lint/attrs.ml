@@ -1,0 +1,59 @@
+open Parsetree
+
+type mark = { reason : string option; mark_loc : Location.t }
+
+type file_marks = {
+  unsafe_zone : mark option;
+  domain_safe : mark option;
+  file_allows : string list;
+  unknown : (string * Location.t) list;
+}
+
+let name_of (a : attribute) = a.attr_name.Location.txt
+
+let const_string e =
+  match e.pexp_desc with
+  | Pexp_constant (Pconst_string (s, _, _)) -> Some s
+  | _ -> None
+
+(* Payload strings: a single string constant or a tuple of them. *)
+let strings_payload (a : attribute) =
+  match a.attr_payload with
+  | PStr [ { pstr_desc = Pstr_eval (e, _); _ } ] -> (
+      match e.pexp_desc with
+      | Pexp_constant (Pconst_string (s, _, _)) -> [ s ]
+      | Pexp_tuple es -> List.filter_map const_string es
+      | _ -> [])
+  | _ -> []
+
+let string_payload a =
+  match strings_payload a with
+  | s :: _ when String.trim s <> "" -> Some s
+  | _ -> None
+
+let allows attrs =
+  List.concat_map
+    (fun a -> if name_of a = "nldl.allow" then strings_payload a else [])
+    attrs
+
+let empty_marks =
+  { unsafe_zone = None; domain_safe = None; file_allows = []; unknown = [] }
+
+let is_nldl name = String.length name > 5 && String.sub name 0 5 = "nldl."
+
+let file_marks str =
+  List.fold_left
+    (fun acc item ->
+      match item.pstr_desc with
+      | Pstr_attribute a -> (
+          let mark = { reason = string_payload a; mark_loc = a.attr_loc } in
+          match name_of a with
+          | "nldl.unsafe_zone" -> { acc with unsafe_zone = Some mark }
+          | "nldl.domain_safe" -> { acc with domain_safe = Some mark }
+          | "nldl.allow" ->
+              { acc with file_allows = acc.file_allows @ strings_payload a }
+          | name when is_nldl name ->
+              { acc with unknown = (name, a.attr_loc) :: acc.unknown }
+          | _ -> acc)
+      | _ -> acc)
+    empty_marks str

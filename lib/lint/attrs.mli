@@ -1,0 +1,38 @@
+(** The [nldl.*] attribute grammar understood by the linter.
+
+    - [[\@nldl.allow "RULE"]] (or a tuple [("R1", "R2")]) on an
+      expression or a [let] binding suppresses those rule ids for that
+      construct; the floating form [[\@\@\@nldl.allow "RULE"]] at the
+      top of a module suppresses them for the whole file.
+    - [[\@\@\@nldl.unsafe_zone "reason"]] (floating, file level) declares
+      the module an audited unsafe zone: [Array.unsafe_*]-style access
+      is permitted, and the reason must name the bounds-validation
+      site (U102 fires on a missing reason, U103 on a zone with no
+      unsafe access left).
+    - [[\@\@\@nldl.domain_safe "mechanism"]] (floating, file level)
+      declares that the module's top-level mutable state is safe to
+      touch from pool domains, naming the mechanism (mutex, DLS, ...).
+
+    Unknown [nldl.*] attribute names are themselves a finding (X001),
+    so a typo like [nldl.unsafe_zon] cannot silently disable a gate. *)
+
+type mark = {
+  reason : string option;  (** payload string, if present and non-empty *)
+  mark_loc : Location.t;
+}
+
+type file_marks = {
+  unsafe_zone : mark option;
+  domain_safe : mark option;
+  file_allows : string list;
+  unknown : (string * Location.t) list;
+      (** floating [nldl.*] attributes that are none of the above *)
+}
+
+val empty_marks : file_marks
+
+val allows : Parsetree.attributes -> string list
+(** Rule ids named by [[\@nldl.allow ...]] attributes in the list. *)
+
+val file_marks : Parsetree.structure -> file_marks
+(** Scan a structure's floating attributes ([[\@\@\@...]] items). *)

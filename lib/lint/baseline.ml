@@ -1,0 +1,88 @@
+type entry = { rule : string; file : string; line : int; message : string }
+
+let key_of_entry e = e.rule ^ "|" ^ e.file ^ "|" ^ e.message
+
+(* "rule|file|line|message": the first three fields cannot contain
+   '|', the message keeps any it has. *)
+let parse_line s =
+  match String.index_opt s '|' with
+  | None -> None
+  | Some i -> (
+      let rest = String.sub s (i + 1) (String.length s - i - 1) in
+      match String.index_opt rest '|' with
+      | None -> None
+      | Some j -> (
+          let tail = String.sub rest (j + 1) (String.length rest - j - 1) in
+          match String.index_opt tail '|' with
+          | None -> None
+          | Some k ->
+              let line =
+                Option.value ~default:0 (int_of_string_opt (String.sub tail 0 k))
+              in
+              Some
+                {
+                  rule = String.sub s 0 i;
+                  file = String.sub rest 0 j;
+                  line;
+                  message = String.sub tail (k + 1) (String.length tail - k - 1);
+                }))
+
+let load path =
+  if not (Sys.file_exists path) then []
+  else begin
+    let ic = open_in path in
+    let entries = ref [] in
+    (try
+       while true do
+         let line = String.trim (input_line ic) in
+         if line <> "" && line.[0] <> '#' then
+           match parse_line line with
+           | Some e -> entries := e :: !entries
+           | None ->
+               Printf.eprintf "nldl-lint: %s: ignoring malformed baseline line %S\n%!"
+                 path line
+       done
+     with End_of_file -> ());
+    close_in ic;
+    List.rev !entries
+  end
+
+let save path findings =
+  let oc = open_out path in
+  output_string oc
+    "# nldl-lint baseline — findings tolerated by the gate, one per line:\n\
+     # rule|file|line|message\n\
+     # Regenerate with: dune exec bin/nldl_lint.exe -- --update-baseline\n\
+     # Keep this empty: fix or [@nldl.allow] new findings instead of baselining them.\n";
+  List.iter
+    (fun (f : Finding.t) ->
+      Printf.fprintf oc "%s|%s|%d|%s\n" f.rule f.file f.line f.message)
+    findings;
+  close_out oc
+
+let diff ~baseline findings =
+  let remaining = Hashtbl.create 64 in
+  List.iter
+    (fun e ->
+      let k = key_of_entry e in
+      Hashtbl.replace remaining k
+        (1 + Option.value ~default:0 (Hashtbl.find_opt remaining k)))
+    baseline;
+  let fresh =
+    List.filter
+      (fun f ->
+        let k = Finding.key f in
+        match Hashtbl.find_opt remaining k with
+        | Some n when n > 0 ->
+            Hashtbl.replace remaining k (n - 1);
+            false
+        | _ -> true)
+      findings
+  in
+  let resolved =
+    Hashtbl.fold
+      (fun k n acc -> if n > 0 then List.init n (fun _ -> k) @ acc else acc)
+      remaining []
+    |> List.sort String.compare
+  in
+  (fresh, resolved)

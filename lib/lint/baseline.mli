@@ -1,0 +1,25 @@
+(** Checked-in finding baseline: the gate fails only on {e new}
+    findings.
+
+    File format, one finding per line (['#'] comments and blank lines
+    ignored):
+
+    {v rule|file|line|message v}
+
+    Matching is by {!Finding.key} — rule, file and message, {e not} the
+    line number — with bag semantics: a baseline line absorbs exactly
+    one identical finding, so adding a second copy of a baselined
+    defect still fails the gate. *)
+
+type entry = { rule : string; file : string; line : int; message : string }
+
+val load : string -> entry list
+(** Missing file = empty baseline. *)
+
+val save : string -> Finding.t list -> unit
+
+val diff :
+  baseline:entry list -> Finding.t list -> Finding.t list * string list
+(** [diff ~baseline findings] is [(fresh, resolved)]: findings not
+    absorbed by the baseline, and keys of baseline entries that no
+    longer occur (stale lines to prune with [--update-baseline]). *)

@@ -1,0 +1,228 @@
+let default_roots = [ "lib"; "bin"; "bench"; "test" ]
+
+(* Normalize to '/' separators so findings and baselines are identical
+   across platforms (and so scoping prefixes match). *)
+let normalize path =
+  String.map (fun c -> if c = '\\' then '/' else c) path
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let scope_of ~file ~(marks : Attrs.file_marks) ~emit : Rules.scope =
+  {
+    file;
+    in_lib = starts_with ~prefix:"lib/" file;
+    in_kernels = starts_with ~prefix:"lib/kernels/" file;
+    unsafe_zone = marks.unsafe_zone <> None;
+    domain_safe = marks.domain_safe <> None;
+    file_allows = marks.file_allows;
+    expr_depth = 0;
+    allow_stack = [];
+    unsafe_sites = 0;
+    emit;
+  }
+
+let iterator scope =
+  Rules.scoping scope
+    (List.fold_left
+       (fun it (r : Rules.t) -> r.extend scope it)
+       Ast_iterator.default_iterator Rules.all)
+
+(* Annotation hygiene that needs whole-file context. *)
+let mark_findings ~file ~(marks : Attrs.file_marks) ~unsafe_sites =
+  let missing_reason name (m : Attrs.mark option) =
+    match m with
+    | Some { reason = None; mark_loc } ->
+        [
+          Finding.of_loc ~rule:"U102" ~file ~loc:mark_loc
+            ~message:
+              (Printf.sprintf
+                 "[@@@%s] without a reason string; name the validation site or \
+                  safety mechanism"
+                 name);
+        ]
+    | _ -> []
+  in
+  missing_reason "nldl.unsafe_zone" marks.unsafe_zone
+  @ missing_reason "nldl.domain_safe" marks.domain_safe
+  @ (match marks.unsafe_zone with
+    | Some { mark_loc; _ } when unsafe_sites = 0 ->
+        [
+          Finding.of_loc ~rule:"U103" ~file ~loc:mark_loc
+            ~message:
+              "[@@@nldl.unsafe_zone] but the file no longer contains any \
+               unsafe access; drop the annotation";
+        ]
+    | _ -> [])
+  @ List.map
+      (fun (name, loc) ->
+        Finding.of_loc ~rule:"X001" ~file ~loc
+          ~message:
+            (Printf.sprintf
+               "unknown attribute [%s]; known: nldl.allow, nldl.unsafe_zone, \
+                nldl.domain_safe"
+               name))
+      marks.unknown
+
+let lint_lexbuf ~file lexbuf =
+  lexbuf.Lexing.lex_curr_p <-
+    { Lexing.pos_fname = file; pos_lnum = 1; pos_bol = 0; pos_cnum = 0 };
+  let findings = ref [] in
+  let emit f = findings := f :: !findings in
+  if Filename.check_suffix file ".mli" then begin
+    (* Interfaces carry no expressions the D/U/S/H rules look at, but a
+       parse failure is still a finding, and walking keeps any future
+       signature-level rules wired. *)
+    match Parse.interface lexbuf with
+    | exception e ->
+        [
+          Finding.make ~rule:"E000" ~file ~line:1 ~col:0
+            ~message:("interface failed to parse: " ^ Printexc.to_string e);
+        ]
+    | sg ->
+        let marks = Attrs.empty_marks in
+        let scope = scope_of ~file ~marks ~emit in
+        let it = iterator scope in
+        it.signature it sg;
+        List.rev !findings
+  end
+  else
+    match Parse.implementation lexbuf with
+    | exception e ->
+        [
+          Finding.make ~rule:"E000" ~file ~line:1 ~col:0
+            ~message:("failed to parse: " ^ Printexc.to_string e);
+        ]
+    | str ->
+        let marks = Attrs.file_marks str in
+        let scope = scope_of ~file ~marks ~emit in
+        let it = iterator scope in
+        it.structure it str;
+        mark_findings ~file ~marks ~unsafe_sites:scope.unsafe_sites
+        @ List.rev !findings
+
+let lint_string ~file src = lint_lexbuf ~file:(normalize file) (Lexing.from_string src)
+
+let lint_file ~root rel =
+  let path = Filename.concat root rel in
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let src = really_input_string ic n in
+  close_in ic;
+  lint_string ~file:rel src
+
+(* --- tree walk ---------------------------------------------------------- *)
+
+let rec walk root acc rel =
+  let path = Filename.concat root rel in
+  if (not (Sys.file_exists path)) || not (Sys.is_directory path) then acc
+  else
+    Array.fold_left
+      (fun acc entry ->
+        if entry = "" || entry.[0] = '.' || entry = "_build" then acc
+        else
+          let rel = rel ^ "/" ^ entry in
+          let path = Filename.concat root rel in
+          if Sys.is_directory path then walk root acc rel
+          else if
+            Filename.check_suffix entry ".ml" || Filename.check_suffix entry ".mli"
+          then rel :: acc
+          else acc)
+      acc
+      (Sys.readdir path)
+
+let collect ~root ~roots =
+  List.sort String.compare
+    (List.fold_left (fun acc r -> walk root acc (normalize r)) [] roots)
+
+(* H304: every lib/ implementation needs an interface. *)
+let missing_mli files =
+  let set = Hashtbl.create 256 in
+  List.iter (fun f -> Hashtbl.replace set f ()) files;
+  List.filter_map
+    (fun f ->
+      if
+        starts_with ~prefix:"lib/" f
+        && Filename.check_suffix f ".ml"
+        && not (Hashtbl.mem set (f ^ "i"))
+      then
+        Some
+          (Finding.make ~rule:"H304" ~file:f ~line:1 ~col:0
+             ~message:
+               "lib/ module without an .mli; write one exporting only what \
+                callers use")
+      else None)
+    files
+
+type result = {
+  files : int;
+  findings : Finding.t list;
+  fresh : Finding.t list;
+  resolved : string list;
+  baseline_path : string;
+  updated : bool;
+}
+
+let run ?(root = ".") ?(roots = default_roots) ?(baseline_file = "lint_baseline.txt")
+    ?(update_baseline = false) () =
+  let files = collect ~root ~roots in
+  let findings =
+    List.concat_map (lint_file ~root) files @ missing_mli files
+    |> List.sort Finding.compare
+  in
+  let baseline_path = Filename.concat root baseline_file in
+  let baseline = Baseline.load baseline_path in
+  let fresh, resolved = Baseline.diff ~baseline findings in
+  if update_baseline then Baseline.save baseline_path findings;
+  {
+    files = List.length files;
+    findings;
+    fresh;
+    resolved;
+    baseline_path;
+    updated = update_baseline;
+  }
+
+let gate_ok r = r.fresh = []
+
+let render r =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun f ->
+      let tag = if List.memq f r.fresh then " NEW" else "" in
+      Buffer.add_string buf (Finding.to_string f ^ tag ^ "\n"))
+    r.findings;
+  List.iter
+    (fun k ->
+      Buffer.add_string buf
+        (Printf.sprintf "stale baseline entry (fixed? run --update-baseline): %s\n" k))
+    r.resolved;
+  Buffer.add_string buf
+    (Printf.sprintf
+       "nldl-lint: %d files, %d findings (%d new, %d baselined, %d stale baseline)%s\n"
+       r.files (List.length r.findings) (List.length r.fresh)
+       (List.length r.findings - List.length r.fresh)
+       (List.length r.resolved)
+       (if r.updated then Printf.sprintf "; baseline %s updated" r.baseline_path
+        else ""));
+  Buffer.contents buf
+
+let json r =
+  Obs.Json.Obj
+    [
+      ("files", Obs.Json.Int r.files);
+      ("total", Obs.Json.Int (List.length r.findings));
+      ("new", Obs.Json.Int (List.length r.fresh));
+      ("stale_baseline", Obs.Json.Int (List.length r.resolved));
+      ( "findings",
+        Obs.Json.List
+          (List.map
+             (fun f ->
+               match Finding.to_json f with
+               | Obs.Json.Obj fields ->
+                   Obs.Json.Obj
+                     (fields @ [ ("new", Obs.Json.Bool (List.memq f r.fresh)) ])
+               | j -> j)
+             r.findings) );
+    ]

@@ -1,0 +1,54 @@
+(** Parse the tree, run the rule registry, apply the baseline.
+
+    Sources are parsed with [compiler-libs] ([Parse.implementation] /
+    [Parse.interface]) — no ppx, no typing — and walked by the composed
+    {!Rules.all} iterator under the {!Rules.scoping} wrapper.  Driver-
+    side checks that need more than one AST node run here: U102/U103
+    annotation hygiene, X001 unknown [nldl.*] attributes, H304 missing
+    [.mli], and E000 parse failures. *)
+
+val default_roots : string list
+(** [lib bin bench test]. *)
+
+val lint_string : file:string -> string -> Finding.t list
+(** Lint one compilation unit given as a string; [file] is the
+    repo-relative path used for scoping (a path under [lib/kernels/]
+    enables the kernel rules, [.mli] suffix parses as an interface).
+    The test fixture entry point. *)
+
+val lint_file : root:string -> string -> Finding.t list
+(** [lint_file ~root rel] reads [root/rel] and lints it as [rel]. *)
+
+type result = {
+  files : int;
+  findings : Finding.t list;  (** all findings, sorted *)
+  fresh : Finding.t list;  (** findings not absorbed by the baseline *)
+  resolved : string list;  (** stale baseline keys *)
+  baseline_path : string;
+  updated : bool;  (** baseline file was rewritten *)
+}
+
+val run :
+  ?root:string ->
+  ?roots:string list ->
+  ?baseline_file:string ->
+  ?update_baseline:bool ->
+  unit ->
+  result
+(** Walk [roots] (relative to [root], default ["."], skipping [_build]
+    and dot-directories), lint every [.ml]/[.mli], and diff against
+    [baseline_file] (relative to [root], default [lint_baseline.txt]).
+    With [update_baseline] the baseline is rewritten to the current
+    findings instead of gating. *)
+
+val gate_ok : result -> bool
+(** No new findings (the CI gate; stale baseline lines are reported but
+    do not fail the build). *)
+
+val render : result -> string
+(** Human report: one compiler-style line per finding (new ones marked
+    [NEW]), stale baseline keys, and a one-line summary. *)
+
+val json : result -> Obs.Json.t
+(** The [lint_findings.json] artifact: totals plus every finding with a
+    ["new"] flag. *)

@@ -1,0 +1,277 @@
+open Parsetree
+open Ast_iterator
+
+type scope = {
+  file : string;
+  in_lib : bool;
+  in_kernels : bool;
+  unsafe_zone : bool;
+  domain_safe : bool;
+  file_allows : string list;
+  mutable expr_depth : int;
+  mutable allow_stack : string list list;
+  mutable unsafe_sites : int;
+  emit : Finding.t -> unit;
+}
+
+type t = {
+  id : string;
+  group : string;
+  synopsis : string;
+  extend : scope -> iterator -> iterator;
+}
+
+let allowed scope id =
+  List.mem id scope.file_allows
+  || List.exists (fun ids -> List.mem id ids) scope.allow_stack
+
+let report scope ~id ~loc message =
+  if not (allowed scope id) then
+    scope.emit (Finding.of_loc ~rule:id ~file:scope.file ~loc ~message)
+
+(* --- shared syntax helpers ---------------------------------------------- *)
+
+(* Flattened path of an identifier expression, with any [Stdlib.]
+   qualification stripped so [Stdlib.Random.int] and [Random.int] hit
+   the same rule. *)
+let ident_path e =
+  match e.pexp_desc with
+  | Pexp_ident { txt; _ } -> (
+      match try Longident.flatten txt with _ -> [] with
+      | "Stdlib" :: rest -> rest
+      | p -> p)
+  | _ -> []
+
+let rec peel e =
+  match e.pexp_desc with
+  | Pexp_constraint (e, _) | Pexp_coerce (e, _, _) | Pexp_open (_, e) -> peel e
+  | _ -> e
+
+let on_expr check scope it =
+  { it with expr = (fun self e -> check scope e; it.expr self e) }
+
+(* --- D: determinism ----------------------------------------------------- *)
+
+let d001 =
+  {
+    id = "D001";
+    group = "D";
+    synopsis = "no Stdlib.Random global PRNG state; thread a seeded Numerics.Rng";
+    extend =
+      on_expr (fun scope e ->
+          match ident_path e with
+          | "Random" :: rest ->
+              report scope ~id:"D001" ~loc:e.pexp_loc
+                (Printf.sprintf
+                   "%s uses the global Stdlib.Random state, which breaks seeded replay; \
+                    thread a Numerics.Rng split per trial (the ?seed convention in \
+                    Experiments.Registry)"
+                   (String.concat "." ("Random" :: rest)))
+          | _ -> ());
+  }
+
+let wall_clocks =
+  [
+    [ "Unix"; "gettimeofday" ];
+    [ "Unix"; "time" ];
+    [ "Unix"; "localtime" ];
+    [ "Unix"; "gmtime" ];
+    [ "Sys"; "time" ];
+  ]
+
+let d002 =
+  {
+    id = "D002";
+    group = "D";
+    synopsis = "no wall-clock reads outside Obs.Clock";
+    extend =
+      on_expr (fun scope e ->
+          if scope.file <> "lib/obs/clock.ml" then
+            let p = ident_path e in
+            if List.mem p wall_clocks then
+              report scope ~id:"D002" ~loc:e.pexp_loc
+                (Printf.sprintf
+                   "%s reads the wall clock (NTP slew, DST, non-determinism); use \
+                    Obs.Clock's monotonic reads"
+                   (String.concat "." p)));
+  }
+
+(* --- U: unsafe zones ---------------------------------------------------- *)
+
+let u101 =
+  {
+    id = "U101";
+    group = "U";
+    synopsis = "*.unsafe_* access only inside an [@@@nldl.unsafe_zone] module";
+    extend =
+      on_expr (fun scope e ->
+          match List.rev (ident_path e) with
+          | last :: _ :: _
+            when String.length last > 7 && String.sub last 0 7 = "unsafe_" ->
+              scope.unsafe_sites <- scope.unsafe_sites + 1;
+              if not scope.unsafe_zone then
+                report scope ~id:"U101" ~loc:e.pexp_loc
+                  (Printf.sprintf
+                   "%s outside an [@@@nldl.unsafe_zone \"reason\"] module; validate \
+                    bounds first and annotate the module, or use safe access"
+                     (String.concat "." (ident_path e)))
+          | _ -> ());
+  }
+
+(* --- S: domain safety --------------------------------------------------- *)
+
+let mutable_ctors =
+  [
+    [ "ref" ];
+    [ "Hashtbl"; "create" ];
+    [ "Queue"; "create" ];
+    [ "Stack"; "create" ];
+    [ "Buffer"; "create" ];
+    [ "Array"; "make" ];
+    [ "Array"; "init" ];
+    [ "Array"; "create_float" ];
+    [ "Bytes"; "create" ];
+    [ "Bytes"; "make" ];
+  ]
+
+let binding_name vb =
+  match vb.pvb_pat.ppat_desc with
+  | Ppat_var { txt; _ } -> txt
+  | _ -> "_"
+
+let s201 =
+  {
+    id = "S201";
+    group = "S";
+    synopsis =
+      "no top-level mutable state in lib/ without [@@@nldl.domain_safe]";
+    extend =
+      (fun scope it ->
+        {
+          it with
+          structure_item =
+            (fun self si ->
+              (match si.pstr_desc with
+              | Pstr_value (_, vbs)
+                when scope.expr_depth = 0 && scope.in_lib
+                     && not scope.domain_safe ->
+                  List.iter
+                    (fun vb ->
+                      if not (List.mem "S201" (Attrs.allows vb.pvb_attributes))
+                      then
+                        let flag what =
+                          report scope ~id:"S201" ~loc:vb.pvb_loc
+                            (Printf.sprintf
+                               "top-level binding %s holds mutable state (%s) in a \
+                                library that pool domains may execute; make it \
+                                domain-local, or annotate the file with \
+                                [@@@nldl.domain_safe \"mechanism\"]"
+                               (binding_name vb) what)
+                        in
+                        match (peel vb.pvb_expr).pexp_desc with
+                        | Pexp_apply (f, _)
+                          when List.mem (ident_path f) mutable_ctors ->
+                            flag (String.concat "." (ident_path f))
+                        | Pexp_array (_ :: _) -> flag "array literal"
+                        | _ -> ())
+                    vbs
+              | _ -> ());
+              it.structure_item self si);
+        });
+  }
+
+(* --- H: hygiene --------------------------------------------------------- *)
+
+let h301 =
+  {
+    id = "H301";
+    group = "H";
+    synopsis = "no Obj.magic";
+    extend =
+      on_expr (fun scope e ->
+          if ident_path e = [ "Obj"; "magic" ] then
+            report scope ~id:"H301" ~loc:e.pexp_loc
+              "Obj.magic defeats the type system; find a typed encoding");
+  }
+
+let is_float_lit e =
+  match (peel e).pexp_desc with
+  | Pexp_constant (Pconst_float _) -> true
+  | _ -> false
+
+let h302 =
+  {
+    id = "H302";
+    group = "H";
+    synopsis = "no polymorphic =/<>/compare against float literals in lib/";
+    extend =
+      on_expr (fun scope e ->
+          if scope.in_lib then
+            match e.pexp_desc with
+            | Pexp_apply (f, args) -> (
+                match ident_path f with
+                | [ "=" ] | [ "<>" ] | [ "compare" ] ->
+                    if List.exists (fun (_, a) -> is_float_lit a) args then
+                      report scope ~id:"H302" ~loc:e.pexp_loc
+                        "polymorphic comparison against a float literal; use \
+                         Float.equal/Float.compare or an epsilon test (NaN and \
+                         -0. bite), or [@nldl.allow \"H302\"] an intentional \
+                         exact test"
+                | _ -> ())
+            | _ -> ());
+  }
+
+let h303 =
+  {
+    id = "H303";
+    group = "H";
+    synopsis = "no Array.concat/Array.append in lib/kernels hot paths";
+    extend =
+      on_expr (fun scope e ->
+          if scope.in_kernels then
+            match ident_path e with
+            | [ "Array"; "concat" ] | [ "Array"; "append" ] ->
+                report scope ~id:"H303" ~loc:e.pexp_loc
+                  (Printf.sprintf
+                     "%s allocates and copies per call; kernels must scatter into \
+                      preallocated arrays (see Kernels.Scatter)"
+                     (String.concat "." (ident_path e)))
+            | _ -> ());
+  }
+
+let all = [ d001; d002; u101; s201; h301; h302; h303 ]
+
+let catalog =
+  List.map (fun r -> (r.id, r.synopsis)) all
+  @ [
+      ("U102", "nldl.unsafe_zone/domain_safe annotation must carry a reason string");
+      ("U103", "stale [@@@nldl.unsafe_zone]: file has no unsafe access left");
+      ("H304", "every lib/ .ml needs an .mli interface");
+      ("X001", "unknown nldl.* attribute (typo would silently disable a gate)");
+      ("E000", "file failed to parse");
+    ]
+
+(* --- scoping wrapper ---------------------------------------------------- *)
+
+let scoping scope it =
+  let expr self e =
+    let allows = Attrs.allows e.pexp_attributes in
+    scope.allow_stack <- allows :: scope.allow_stack;
+    scope.expr_depth <- scope.expr_depth + 1;
+    it.expr self e;
+    scope.expr_depth <- scope.expr_depth - 1;
+    scope.allow_stack <- List.tl scope.allow_stack
+  in
+  let module_binding self mb =
+    let allows = Attrs.allows mb.pmb_attributes in
+    scope.allow_stack <- allows :: scope.allow_stack;
+    it.module_binding self mb;
+    scope.allow_stack <- List.tl scope.allow_stack
+  in
+  let value_binding self vb =
+    let allows = Attrs.allows vb.pvb_attributes in
+    scope.allow_stack <- allows :: scope.allow_stack;
+    it.value_binding self vb;
+    scope.allow_stack <- List.tl scope.allow_stack
+  in
+  { it with expr; module_binding; value_binding }

@@ -1,3 +1,9 @@
+(* Exact [f x = 0.] tests are the textbook early-exit for bracketing
+   root finders: landing on the root is rare but must terminate the
+   bracket immediately, and no epsilon is meaningful before scaling by
+   the (unknown) slope of [f]. *)
+[@@@nldl.allow "H302"]
+
 exception No_bracket
 
 let default_tol = 1e-12

@@ -61,6 +61,7 @@ let lanczos =
   [| 0.99999999999980993; 676.5203681218851; -1259.1392167224028; 771.32342877765313;
      -176.61502916214059; 12.507343278686905; -0.13857109526572012;
      9.9843695780195716e-6; 1.5056327351493116e-7 |]
+[@@nldl.allow "S201"] (* read-only coefficient table *)
 
 let rec log_gamma x =
   if x <= 0. then invalid_arg "Special.log_gamma: x must be > 0";

@@ -12,6 +12,15 @@
    default) every operation is a single flag load and allocates
    nothing. *)
 
+[@@@nldl.unsafe_zone
+  "counter/histogram slots are indexed by dense metric ids after \
+   grow_counts/hist_slots guarantee the shard arrays cover the id, and the \
+   bucket scan is bounded by |h_bounds| (U-audit 2026-08)"]
+[@@@nldl.domain_safe
+  "registry lists and counts are mutated only under [mutex]; hot-path \
+   increments go to this domain's DLS shard, merged at snapshot under the \
+   same mutex"]
+
 let enabled_flag = Atomic.make false
 let set_enabled b = Atomic.set enabled_flag b
 let enabled () = Atomic.get enabled_flag

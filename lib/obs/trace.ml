@@ -8,6 +8,13 @@
    disabled (the default) [begin_span]/[end_span]/[instant] are a
    single flag load, zero allocation. *)
 
+[@@@nldl.unsafe_zone
+  "ring writes index with [len land mask], always inside the fixed-capacity \
+   per-domain arrays allocated at DLS-key init (U-audit 2026-08)"]
+[@@@nldl.domain_safe
+  "per-domain DLS ring buffers; the global [bufs] registry list is only \
+   consed under [mutex] at shard creation and read at export time"]
+
 let enabled_flag = Atomic.make false
 let set_enabled b = Atomic.set enabled_flag b
 let enabled () = Atomic.get enabled_flag

@@ -19,9 +19,11 @@ let box_blur size =
 
 let sharpen =
   [| [| 0.; -1.; 0. |]; [| -1.; 5.; -1. |]; [| 0.; -1.; 0. |] |]
+[@@nldl.allow "S201"] (* read-only convolution kernel *)
 
 let edge_detect =
   [| [| -1.; -1.; -1. |]; [| -1.; 8.; -1. |]; [| -1.; -1.; -1. |] |]
+[@@nldl.allow "S201"] (* read-only convolution kernel *)
 
 (* Convolve rows [row0, row0+rows) of [image], reading neighbours with
    zero padding; writes into the same rows of [target]. *)
