@@ -195,6 +195,62 @@ let report_multicore () =
       ("speedup", Obs.Json.Float speedup);
     ]
 
+let report_sort_throughput () =
+  (* Headline keys/sec of the flat-buffer sort pipelines, median of >= 3
+     interleaved trials so drift hits every variant equally. *)
+  let n = if quick then 200_000 else 1_000_000 in
+  let p = 16 in
+  let trials = if quick then 3 else 5 in
+  let rng = Core.Rng.create ~seed:31 () in
+  let keys = Array.init n (fun _ -> Core.Rng.float rng) in
+  let domains = Core.Parallel.default_domains () in
+  Core.Parallel.warm_up ~domains ();
+  let median samples =
+    let sorted = Array.copy samples in
+    Array.sort Float.compare sorted;
+    sorted.(Array.length sorted / 2)
+  in
+  let pipelines =
+    [
+      ( "multicore",
+        fun () -> ignore (Core.Multicore_sort.sort ~domains (Core.Rng.create ~seed:32 ()) keys ~p) );
+      ("psrs", fun () -> ignore (Core.Psrs.sort keys ~p));
+      ("histogram", fun () -> ignore (Core.Histogram_sort.sort keys ~p));
+    ]
+  in
+  (* Untimed warm-up of each pipeline, then interleaved trials. *)
+  List.iter (fun (_, f) -> f ()) pipelines;
+  let times = List.map (fun (name, _) -> (name, Array.make trials 0.)) pipelines in
+  for t = 0 to trials - 1 do
+    List.iter
+      (fun (name, f) ->
+        let (), s = elapsed_s f in
+        (List.assoc name times).(t) <- s)
+      pipelines
+  done;
+  Experiments.Report.section
+    (Printf.sprintf "Sort throughput (N=%d, p=%d, median of %d trials)" n p trials);
+  let table = Numerics.Ascii_table.create ~headers:[ "pipeline"; "keys/sec"; "seconds" ] in
+  Numerics.Ascii_table.set_align table [ Numerics.Ascii_table.Left; Right; Right ];
+  let rows =
+    List.map
+      (fun (name, samples) ->
+        let seconds = median samples in
+        let throughput = float_of_int n /. seconds in
+        Numerics.Ascii_table.add_row table
+          [ name; Printf.sprintf "%.3e" throughput; Printf.sprintf "%.3f" seconds ];
+        ( name,
+          Obs.Json.Obj
+            [
+              ("keys_per_sec", Obs.Json.Float throughput);
+              ("median_seconds", Obs.Json.Float seconds);
+            ] ))
+      times
+  in
+  Numerics.Ascii_table.print table;
+  Obs.Json.Obj
+    ([ ("n_keys", Obs.Json.Int n); ("p", Obs.Json.Int p); ("trials", Obs.Json.Int trials) ] @ rows)
+
 let report_pool_overhead () =
   (* Tentpole check: submitting to the persistent pool must beat paying
      a Domain.spawn/join round-trip per call. *)
@@ -375,13 +431,24 @@ let report_allocations () =
   in
   (measured, json)
 
-(* Baseline file: one `name minor_words major_words` line per kernel. *)
+(* Kernels whose flat-buffer overhauls are locked in: their baseline
+   lines carry a `ratchet` marker, and the gate holds them to the
+   baseline itself (no 10% headroom) so the order-of-magnitude win
+   cannot silently erode. *)
+let ratcheted_kernels = [ "psrs_sort"; "histogram_splitters" ]
+
+(* Baseline file: one `name minor_words major_words [ratchet]` line per
+   kernel. *)
 let write_alloc_baseline path measured =
   let oc = open_out path in
-  output_string oc "# Allocation baseline: kernel minor_words major_words\n";
+  output_string oc "# Allocation baseline: kernel minor_words major_words [ratchet]\n";
   output_string oc "# Regenerate with: dune exec bench/main.exe -- --quick --write-alloc-baseline <path>\n";
+  output_string oc
+    "# `ratchet` pins the kernel to the baseline (no growth tolerance); see DESIGN.md s12.\n";
   List.iter
-    (fun (name, minor, major) -> Printf.fprintf oc "%s %.0f %.0f\n" name minor major)
+    (fun (name, minor, major) ->
+      let flag = if List.mem name ratcheted_kernels then " ratchet" else "" in
+      Printf.fprintf oc "%s %.0f %.0f%s\n" name minor major flag)
     measured;
   close_out oc;
   Printf.printf "Wrote allocation baseline to %s\n%!" path
@@ -395,7 +462,9 @@ let read_alloc_baseline path =
        if line <> "" && line.[0] <> '#' then
          match String.split_on_char ' ' line with
          | [ name; minor; major ] ->
-             entries := (name, float_of_string minor, float_of_string major) :: !entries
+             entries := (name, float_of_string minor, float_of_string major, false) :: !entries
+         | [ name; minor; major; "ratchet" ] ->
+             entries := (name, float_of_string minor, float_of_string major, true) :: !entries
          | _ -> failwith (Printf.sprintf "malformed baseline line: %S" line)
      done
    with End_of_file -> ());
@@ -403,29 +472,40 @@ let read_alloc_baseline path =
   List.rev !entries
 
 (* Hard gate: fail on >10% allocation growth (plus a small absolute
-   slack so tiny counters don't flap).  Timing is advisory only — shared
-   runners and single-CPU hosts make ns/run too noisy to gate on. *)
+   slack so tiny counters don't flap).  Ratcheted kernels get no
+   headroom — any growth past a rounding-level slack fails, and a run
+   that comes in far below the baseline prints a reminder to tighten
+   it.  Timing is advisory only — shared runners and single-CPU hosts
+   make ns/run too noisy to gate on. *)
 let check_alloc_baseline path measured =
-  let tolerance = 1.10 and slack = 4096. in
   let failures = ref [] in
   List.iter
-    (fun (name, base_minor, base_major) ->
+    (fun (name, base_minor, base_major, ratchet) ->
       match List.find_opt (fun (n, _, _) -> n = name) measured with
       | None -> failures := Printf.sprintf "%s: kernel missing from bench run" name :: !failures
       | Some (_, minor, major) ->
+          let tolerance = if ratchet then 1.0 else 1.10 in
+          let slack = if ratchet then 512. else 4096. in
+          let label = if ratchet then "ratcheted baseline" else "baseline" in
+          let headroom = if ratchet then "+0%" else "+10%" in
           let over v base = v > (base *. tolerance) +. slack in
           if over minor base_minor then
             failures :=
-              Printf.sprintf "%s: minor words %.0f > %.0f (baseline %.0f +10%%)" name minor
+              Printf.sprintf "%s: minor words %.0f > %.0f (%s %.0f %s)" name minor
                 ((base_minor *. tolerance) +. slack)
-                base_minor
+                label base_minor headroom
               :: !failures;
           if over major base_major then
             failures :=
-              Printf.sprintf "%s: major words %.0f > %.0f (baseline %.0f +10%%)" name major
+              Printf.sprintf "%s: major words %.0f > %.0f (%s %.0f %s)" name major
                 ((base_major *. tolerance) +. slack)
-                base_major
-              :: !failures)
+                label base_major headroom
+              :: !failures;
+          if ratchet && minor < 0.5 *. base_minor then
+            Printf.printf
+              "  NOTE %s: minor words %.0f are far below the ratcheted baseline %.0f — \
+               regenerate the baseline to lock in the win\n%!"
+              name minor base_minor)
     (read_alloc_baseline path);
   match List.rev !failures with
   | [] ->
@@ -561,6 +641,7 @@ let () =
   if metrics_on then Obs.Metrics.set_enabled true;
   let kernels = run_micro_benchmarks () in
   let multicore = report_multicore () in
+  let sort_throughput = report_sort_throughput () in
   let pool = report_pool_overhead () in
   let fig4_scaling = report_fig4_scaling () in
   let alloc_measured, allocations = report_allocations () in
@@ -582,6 +663,7 @@ let () =
            Obs.Json.Obj (List.map (fun (name, ns) -> (name, Obs.Json.Float ns)) kernels) );
          ("pool_overhead", pool);
          ("multicore_sort", multicore);
+         ("sort_throughput", sort_throughput);
          ("fig4_scaling", fig4_scaling);
          ("allocations", allocations);
        ]

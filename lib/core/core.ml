@@ -20,6 +20,7 @@ module Distributions = Numerics.Distributions
 module Stats = Numerics.Stats
 module Parallel = Numerics.Parallel
 module Pool = Exec.Pool
+module Fbuf = Kernels.Fbuf
 module Scatter = Kernels.Scatter
 module Seg_sort = Kernels.Seg_sort
 

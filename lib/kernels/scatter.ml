@@ -10,18 +10,19 @@
    histogram + exclusive prefix sums over the same keys (U-audit 2026-08)"]
 
 type 'a t = { data : 'a array; offsets : int array }
+type slice = { mutable lo : int; mutable len : int }
 
+let slice_make () = { lo = 0; len = 0 }
 let num_buckets t = Array.length t.offsets - 1
+let bucket_lo t b = t.offsets.(b)
+let bucket_len t b = t.offsets.(b + 1) - t.offsets.(b)
 
-let bucket_bounds t b =
-  let lo = t.offsets.(b) in
-  (lo, t.offsets.(b + 1) - lo)
+let bucket_slice t b s =
+  s.lo <- t.offsets.(b);
+  s.len <- t.offsets.(b + 1) - s.lo
 
-let bucket_sizes t = Array.init (num_buckets t) (fun b -> t.offsets.(b + 1) - t.offsets.(b))
-
-let bucket t b =
-  let lo, len = bucket_bounds t b in
-  Array.sub t.data lo len
+let bucket_sizes t = Array.init (num_buckets t) (fun b -> bucket_len t b)
+let bucket t b = Array.sub t.data (bucket_lo t b) (bucket_len t b)
 
 let bucket_index ?(cmp = compare) splitters key =
   (* Smallest i with key < splitters.(i); p-1 when none. *)
@@ -56,9 +57,11 @@ let histogram ?(cmp = compare) keys ~splitters =
     keys;
   counts
 
-let histogram_floats (keys : float array) ~(splitters : float array) =
+let histogram_floats_into counts (keys : float array) ~(splitters : float array) =
   let m = Array.length splitters in
-  let counts = Array.make (m + 1) 0 in
+  if Array.length counts < m + 1 then
+    invalid_arg "Scatter.histogram_floats_into: counts shorter than p";
+  Array.fill counts 0 (m + 1) 0;
   for i = 0 to Array.length keys - 1 do
     let key = Array.unsafe_get keys i in
     let lo = ref 0 and hi = ref m in
@@ -67,7 +70,11 @@ let histogram_floats (keys : float array) ~(splitters : float array) =
       if key < Array.unsafe_get splitters mid then hi := mid else lo := mid + 1
     done;
     Array.unsafe_set counts !lo (Array.unsafe_get counts !lo + 1)
-  done;
+  done
+
+let histogram_floats (keys : float array) ~(splitters : float array) =
+  let counts = Array.make (Array.length splitters + 1) 0 in
+  histogram_floats_into counts keys ~splitters;
   counts
 
 let exclusive_prefix counts =

@@ -26,12 +26,27 @@ type 'a t = {
           data.(offsets.(b + 1) - 1)], a zero-copy view. *)
 }
 
+type slice = { mutable lo : int; mutable len : int }
+(** Stack-like slice geometry: one record allocated up front and
+    overwritten per query, so walking every bucket of every pass costs
+    zero allocation (the tuple-returning predecessor allocated a block
+    per call).  Not for sharing across domains — give each worker its
+    own, or read {!bucket_lo}/{!bucket_len} directly. *)
+
+val slice_make : unit -> slice
+(** A fresh slice record ([lo = 0], [len = 0]). *)
+
 val num_buckets : 'a t -> int
 (** [Array.length offsets - 1]. *)
 
-val bucket_bounds : 'a t -> int -> int * int
-(** [bucket_bounds t b] is [(offset, length)] of bucket [b] inside
-    [t.data] — the zero-copy view. *)
+val bucket_lo : 'a t -> int -> int
+(** Offset of bucket [b] inside [t.data] — an unallocated int read. *)
+
+val bucket_len : 'a t -> int -> int
+(** Length of bucket [b] — an unallocated int read. *)
+
+val bucket_slice : 'a t -> int -> slice -> unit
+(** [bucket_slice t b s] overwrites [s] with bucket [b]'s geometry. *)
 
 val bucket_sizes : 'a t -> int array
 (** Length of every bucket (fresh [O(p)] array). *)
@@ -54,6 +69,12 @@ val histogram : ?cmp:('a -> 'a -> int) -> 'a array -> splitters:'a array -> int 
 
 val histogram_floats : float array -> splitters:float array -> int array
 (** Monomorphic {!histogram}. *)
+
+val histogram_floats_into : int array -> float array -> splitters:float array -> unit
+(** {!histogram_floats} into a caller-owned [counts] buffer of at least
+    [|splitters| + 1] entries (zeroed first; entries past [p] are left
+    alone) — the refinement loops of histogram sort reuse one buffer
+    across every pass instead of allocating per sweep. *)
 
 val partition : ?cmp:('a -> 'a -> int) -> 'a array -> splitters:'a array -> 'a t
 (** Two-pass sequential scatter.  Beyond the output [data] array, it

@@ -20,23 +20,27 @@ let distributed ~zones a b =
   let ad = Matrix.data a and bd = Matrix.data b and rd = Matrix.data result in
   (* Step k: rank-1 update with column k of A and row k of B.  Each
      worker applies the update to its own zone using only the slices it
-     received, which we charge as communication. *)
+     received, which we charge as communication.  Plain [for] over the
+     zones (not [Array.iteri]) so no closure is allocated per step; each
+     result cell still accumulates over [k] ascending, so the output is
+     bit-identical to the sequential triple loop. *)
   for k = 0 to n - 1 do
     let bbase = k * n in
-    Array.iteri
-      (fun w z ->
-        per_worker.(w) <- per_worker.(w) + Zone.half_perimeter z;
-        for i = z.Zone.row0 to z.Zone.row0 + z.Zone.rows - 1 do
-          let aik = Array.unsafe_get ad ((i * n) + k) in
-          if (aik <> 0.) [@nldl.allow "H302"] (* exact sparse skip *) then begin
-            let rbase = i * n in
-            for j = z.Zone.col0 to z.Zone.col0 + z.Zone.cols - 1 do
-              Array.unsafe_set rd (rbase + j)
-                (Array.unsafe_get rd (rbase + j) +. (aik *. Array.unsafe_get bd (bbase + j)))
-            done
-          end
-        done)
-      zones
+    for w = 0 to Array.length zones - 1 do
+      let z = Array.unsafe_get zones w in
+      per_worker.(w) <- per_worker.(w) + Zone.half_perimeter z;
+      for i = z.Zone.row0 to z.Zone.row0 + z.Zone.rows - 1 do
+        let aik = Kernels.Fbuf.unsafe_get ad ((i * n) + k) in
+        if (aik <> 0.) [@nldl.allow "H302"] (* exact sparse skip *) then begin
+          let rbase = i * n in
+          for j = z.Zone.col0 to z.Zone.col0 + z.Zone.cols - 1 do
+            Kernels.Fbuf.unsafe_set rd (rbase + j)
+              (Kernels.Fbuf.unsafe_get rd (rbase + j)
+              +. (aik *. Kernels.Fbuf.unsafe_get bd (bbase + j)))
+          done
+        end
+      done
+    done
   done;
   { per_worker; total = Array.fold_left ( + ) 0 per_worker; result }
 

@@ -1,14 +1,30 @@
-type t = { rows : int; cols : int; data : float array }
+(* Dense row-major matrices on a flat Bigarray buffer (Kernels.Fbuf).
+
+   The payload lives outside the OCaml heap: creating a result matrix
+   costs the GC a custom-block header instead of [rows * cols]
+   major-heap words, so the matmul/outer-product kernels allocate O(1)
+   GC words per call.  [data] exposes the backing buffer for the audited
+   unsafe zones (Matmul, Outer_product, Parallel_matmul, Summa) that
+   validate their index ranges once up front. *)
+
+[@@@nldl.unsafe_zone
+  "the fused map2/scale/mul/mul_blocked/outer loops run over dimensions \
+   validated at entry (equal lengths, inner-dimension match), so the unchecked \
+   Fbuf accesses stay inside the row-major stores (U-audit 2026-08)"]
+
+module Fbuf = Kernels.Fbuf
+
+type t = { rows : int; cols : int; data : Fbuf.t }
 
 let create ~rows ~cols =
   if rows <= 0 || cols <= 0 then invalid_arg "Matrix.create: non-positive dimensions";
-  { rows; cols; data = Array.make (rows * cols) 0. }
+  { rows; cols; data = Fbuf.create (rows * cols) }
 
 let init ~rows ~cols f =
   let m = create ~rows ~cols in
   for i = 0 to rows - 1 do
     for j = 0 to cols - 1 do
-      m.data.((i * cols) + j) <- f i j
+      Fbuf.unsafe_set m.data ((i * cols) + j) (f i j)
     done
   done;
   m
@@ -23,24 +39,24 @@ let cols m = m.cols
 
 let get m i j =
   if i < 0 || i >= m.rows || j < 0 || j >= m.cols then invalid_arg "Matrix.get: out of bounds";
-  m.data.((i * m.cols) + j)
+  Fbuf.unsafe_get m.data ((i * m.cols) + j)
 
 let set m i j v =
   if i < 0 || i >= m.rows || j < 0 || j >= m.cols then invalid_arg "Matrix.set: out of bounds";
-  m.data.((i * m.cols) + j) <- v
+  Fbuf.unsafe_set m.data ((i * m.cols) + j) v
 
 let data m = m.data
-let copy m = { m with data = Array.copy m.data }
+let copy m = { m with data = Fbuf.copy m.data }
 
 let map2 op a b =
   if a.rows <> b.rows || a.cols <> b.cols then invalid_arg "Matrix: dimension mismatch";
   (* Hot path under [add]/[sub] in the LU/Cholesky benches: a direct
      fused loop instead of a closure per element through [Array.init]. *)
   let ad = a.data and bd = b.data in
-  let n = Array.length ad in
-  let data = Array.make n 0. in
+  let n = Fbuf.length ad in
+  let data = Fbuf.create n in
   for i = 0 to n - 1 do
-    data.(i) <- op ad.(i) bd.(i)
+    Fbuf.unsafe_set data i (op (Fbuf.unsafe_get ad i) (Fbuf.unsafe_get bd i))
   done;
   { a with data }
 
@@ -50,20 +66,20 @@ let sub = map2 ( -. )
 let scale s m =
   (* Same fused-loop treatment as [map2]: no closure per element. *)
   let src = m.data in
-  let n = Array.length src in
-  let data = Array.make n 0. in
+  let n = Fbuf.length src in
+  let data = Fbuf.create n in
   for i = 0 to n - 1 do
-    data.(i) <- s *. src.(i)
+    Fbuf.unsafe_set data i (s *. Fbuf.unsafe_get src i)
   done;
   { m with data }
 
 let transpose m =
   let rows = m.cols and cols = m.rows in
   let src = m.data in
-  let data = Array.make (rows * cols) 0. in
+  let data = Fbuf.create (rows * cols) in
   for i = 0 to rows - 1 do
     for j = 0 to cols - 1 do
-      data.((i * cols) + j) <- src.((j * m.cols) + i)
+      Fbuf.unsafe_set data ((i * cols) + j) (Fbuf.unsafe_get src ((j * m.cols) + i))
     done
   done;
   { rows; cols; data }
@@ -71,13 +87,14 @@ let transpose m =
 let mul a b =
   if a.cols <> b.rows then invalid_arg "Matrix.mul: inner dimension mismatch";
   let c = create ~rows:a.rows ~cols:b.cols in
+  let ad = a.data and bd = b.data and cd = c.data in
   for i = 0 to a.rows - 1 do
     for k = 0 to a.cols - 1 do
-      let aik = a.data.((i * a.cols) + k) in
+      let aik = Fbuf.unsafe_get ad ((i * a.cols) + k) in
       if (aik <> 0.) [@nldl.allow "H302"] (* exact sparse skip *) then
         for j = 0 to b.cols - 1 do
-          c.data.((i * c.cols) + j) <-
-            c.data.((i * c.cols) + j) +. (aik *. b.data.((k * b.cols) + j))
+          Fbuf.unsafe_set cd ((i * c.cols) + j)
+            (Fbuf.unsafe_get cd ((i * c.cols) + j) +. (aik *. Fbuf.unsafe_get bd ((k * b.cols) + j)))
         done
     done
   done;
@@ -88,6 +105,7 @@ let mul_blocked ?(block = 32) a b =
   if block <= 0 then invalid_arg "Matrix.mul_blocked: block must be > 0";
   let c = create ~rows:a.rows ~cols:b.cols in
   let n = a.rows and m = b.cols and kk = a.cols in
+  let ad = a.data and bd = b.data and cd = c.data in
   let bi = ref 0 in
   while !bi < n do
     let i_hi = min n (!bi + block) in
@@ -99,10 +117,11 @@ let mul_blocked ?(block = 32) a b =
         let j_hi = min m (!bj + block) in
         for i = !bi to i_hi - 1 do
           for k = !bk to k_hi - 1 do
-            let aik = a.data.((i * kk) + k) in
+            let aik = Fbuf.unsafe_get ad ((i * kk) + k) in
             if (aik <> 0.) [@nldl.allow "H302"] (* exact sparse skip *) then
               for j = !bj to j_hi - 1 do
-                c.data.((i * m) + j) <- c.data.((i * m) + j) +. (aik *. b.data.((k * m) + j))
+                Fbuf.unsafe_set cd ((i * m) + j)
+                  (Fbuf.unsafe_get cd ((i * m) + j) +. (aik *. Fbuf.unsafe_get bd ((k * m) + j)))
               done
           done
         done;
@@ -117,38 +136,47 @@ let mul_blocked ?(block = 32) a b =
 let outer a b =
   let rows = Array.length a and cols = Array.length b in
   if rows = 0 || cols = 0 then invalid_arg "Matrix.outer: empty vector";
-  let data = Array.make (rows * cols) 0. in
+  let data = Fbuf.create (rows * cols) in
   for i = 0 to rows - 1 do
-    let ai = a.(i) in
+    let ai = Array.unsafe_get a i in
     let base = i * cols in
     for j = 0 to cols - 1 do
-      data.(base + j) <- ai *. b.(j)
+      Fbuf.unsafe_set data (base + j) (ai *. Array.unsafe_get b j)
     done
   done;
   { rows; cols; data }
 
-let frobenius m = sqrt (Numerics.Kahan.sum_by (fun x -> x *. x) m.data)
+let frobenius m =
+  let acc = Numerics.Kahan.create () in
+  let d = m.data in
+  for i = 0 to Fbuf.length d - 1 do
+    let x = Fbuf.unsafe_get d i in
+    Numerics.Kahan.add acc (x *. x)
+  done;
+  sqrt (Numerics.Kahan.total acc)
 
 let max_abs_diff a b =
   if a.rows <> b.rows || a.cols <> b.cols then invalid_arg "Matrix.max_abs_diff: dimension mismatch";
+  let ad = a.data and bd = b.data in
   let worst = ref 0. in
-  Array.iteri
-    (fun i x ->
-      let d = Float.abs (x -. b.data.(i)) in
-      if d > !worst then worst := d)
-    a.data;
+  for i = 0 to Fbuf.length ad - 1 do
+    let d = Float.abs (Fbuf.unsafe_get ad i -. Fbuf.unsafe_get bd i) in
+    if d > !worst then worst := d
+  done;
   !worst
 
 let approx_equal ?(tol = 1e-9) a b =
   let magnitude = Float.max (frobenius a) (frobenius b) in
   max_abs_diff a b <= tol *. (1. +. magnitude)
 
+let equal a b = a.rows = b.rows && a.cols = b.cols && Fbuf.equal a.data b.data
+
 let pp ppf m =
   Format.fprintf ppf "@[<v>";
   for i = 0 to min (m.rows - 1) 9 do
     Format.fprintf ppf "[";
     for j = 0 to min (m.cols - 1) 9 do
-      Format.fprintf ppf "%8.3g " m.data.((i * m.cols) + j)
+      Format.fprintf ppf "%8.3g " (get m i j)
     done;
     if m.cols > 10 then Format.fprintf ppf "...";
     Format.fprintf ppf "]@,"

@@ -1,5 +1,11 @@
 (** Dense row-major float matrices — the substrate for the outer-product
-    and matrix-multiplication experiments of Section 4. *)
+    and matrix-multiplication experiments of Section 4.
+
+    Backed by a flat {!Kernels.Fbuf} (Bigarray float64) buffer: the
+    payload lives outside the OCaml heap, so creating and dropping
+    matrices costs the GC a custom-block header rather than
+    [rows * cols] heap words, and the distributed kernels run
+    GC-silent. *)
 
 type t
 
@@ -16,12 +22,12 @@ val cols : t -> int
 val get : t -> int -> int -> float
 val set : t -> int -> int -> float -> unit
 
-val data : t -> float array
-(** The row-major backing store (length [rows * cols]; element [(i, j)]
-    at index [i * cols + j]), shared with the matrix — writes are
+val data : t -> Kernels.Fbuf.t
+(** The row-major backing buffer (length [rows * cols]; element [(i, j)]
+    at offset [i * cols + j]), shared with the matrix — writes are
     visible.  Exposed for the zero-allocation inner loops
-    ([Matmul.distributed], [Outer_product], [Parallel_matmul]) that
-    validate their index ranges once up front instead of paying
+    ([Matmul.distributed], [Outer_product], [Parallel_matmul], [Summa])
+    that validate their index ranges once up front instead of paying
     {!get}/{!set} bounds checks per flop. *)
 
 val copy : t -> t
@@ -35,7 +41,9 @@ val mul : t -> t -> t
 (** Naive triple loop, [i k j] order for cache friendliness. *)
 
 val mul_blocked : ?block:int -> t -> t -> t
-(** Tiled multiplication (default tile 32). *)
+(** Tiled multiplication (default tile 32).  Cell [(i, j)] accumulates
+    over [k] ascending, exactly like {!mul}, so the two are
+    bit-identical. *)
 
 val outer : float array -> float array -> t
 (** [outer a b] is the [|a| × |b|] matrix of all products [a_i·b_j]
@@ -46,5 +54,10 @@ val max_abs_diff : t -> t -> float
 val approx_equal : ?tol:float -> t -> t -> bool
 (** Max-norm comparison with tolerance [tol] (default 1e-9) scaled by
     the magnitude of the entries. *)
+
+val equal : t -> t -> bool
+(** Bitwise equality (dimensions plus {!Kernels.Fbuf.equal} on the
+    backing buffers) — the byte-identity predicate of the kernel
+    tests. *)
 
 val pp : Format.formatter -> t -> unit

@@ -1,7 +1,9 @@
 [@@@nldl.unsafe_zone
   "distributed runs Zone.validate_tiling and demand_driven_blocks checks the \
    block schedule (n_side divides n, enough owners) before the unchecked rank-1 \
-   fill loops (U-audit 2026-08)"]
+   fill loops over the flat stores (U-audit 2026-08)"]
+
+module Fbuf = Kernels.Fbuf
 
 type stats = { per_worker : int array; total : int; result : Matrix.t }
 
@@ -26,7 +28,7 @@ let distributed ~zones a b =
           let ai = Array.unsafe_get a i in
           let rbase = i * n in
           for j = z.Zone.col0 to z.Zone.col0 + z.Zone.cols - 1 do
-            Array.unsafe_set rd (rbase + j) (ai *. Array.unsafe_get b j)
+            Fbuf.unsafe_set rd (rbase + j) (ai *. Array.unsafe_get b j)
           done
         done;
         Zone.half_perimeter z)
@@ -44,16 +46,25 @@ let demand_driven_blocks ?(dedup = false) (schedule : Partition.Block_hom.result
   if Array.length schedule.Partition.Block_hom.owners < blocks then
     invalid_arg "Outer_product.demand_driven_blocks: schedule has too few blocks";
   let p = Array.length schedule.Partition.Block_hom.per_worker in
+  for block = 0 to blocks - 1 do
+    let owner = schedule.Partition.Block_hom.owners.(block) in
+    if owner < 0 || owner >= p then
+      invalid_arg "Outer_product.demand_driven_blocks: owner out of range"
+  done;
   let per_worker = Array.make p 0 in
   let result = Matrix.create ~rows:n ~cols:n in
-  let have_a = Array.init p (fun _ -> Array.make n false) in
-  let have_b = Array.init p (fun _ -> Array.make n false) in
+  (* Per-worker received-slice caches as two flat p×n byte planes (row
+     w = worker w's flags) instead of an array of arrays: one flat
+     allocation each, same layout convention as the matrices. *)
+  let have_a = Bytes.make (p * n) '\000' in
+  let have_b = Bytes.make (p * n) '\000' in
   let charge cache worker lo len =
     if dedup then begin
+      let base = worker * n in
       let fresh = ref 0 in
-      for idx = lo to lo + len - 1 do
-        if not cache.(worker).(idx) then begin
-          cache.(worker).(idx) <- true;
+      for idx = base + lo to base + lo + len - 1 do
+        if Bytes.unsafe_get cache idx = '\000' then begin
+          Bytes.unsafe_set cache idx '\001';
           incr fresh
         end
       done;
@@ -76,7 +87,7 @@ let demand_driven_blocks ?(dedup = false) (schedule : Partition.Block_hom.result
       let ai = Array.unsafe_get a i in
       let rbase = i * n in
       for j = col0 to col0 + n_side - 1 do
-        Array.unsafe_set rd (rbase + j) (ai *. Array.unsafe_get b j)
+        Fbuf.unsafe_set rd (rbase + j) (ai *. Array.unsafe_get b j)
       done
     done
   done;

@@ -1,3 +1,5 @@
+module Fbuf = Kernels.Fbuf
+
 [@@@nldl.unsafe_zone
   "multiply validates the matrix dimensions up front; each band's i/k/j loops \
    are clamped to rows/inner/cols, so the blocked kernel stays inside the \
@@ -25,13 +27,13 @@ let multiply ?domains ?(block = 32) a b =
       for i = i0 to i1 - 1 do
         let abase = i * inner and cbase = i * cols in
         for k = !k0 to k1 - 1 do
-          let aik = Array.unsafe_get ad (abase + k) in
+          let aik = Fbuf.unsafe_get ad (abase + k) in
           if (aik <> 0.) [@nldl.allow "H302"] (* exact sparse skip *) then begin
             let bbase = k * cols in
             for j = 0 to cols - 1 do
-              Array.unsafe_set cd (cbase + j)
-                (Array.unsafe_get cd (cbase + j)
-                +. (aik *. Array.unsafe_get bd (bbase + j)))
+              Fbuf.unsafe_set cd (cbase + j)
+                (Fbuf.unsafe_get cd (cbase + j)
+                +. (aik *. Fbuf.unsafe_get bd (bbase + j)))
             done
           end
         done

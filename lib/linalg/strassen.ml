@@ -1,13 +1,50 @@
+(* Strassen's seven-multiplication recursion.  The quadrant extraction
+   and reassembly work by row blits over the flat Fbuf stores (one
+   [Fbuf.blit] per row instead of a closure call per cell), with
+   out-of-range rows/columns of an odd-sized matrix zero-padded by the
+   zero-filled [Matrix.create]. *)
+
+module Fbuf = Kernels.Fbuf
+
 let quadrant m ~half ~qi ~qj =
-  Matrix.init ~rows:half ~cols:half (fun i j ->
-      let row = (qi * half) + i and col = (qj * half) + j in
-      if row < Matrix.rows m && col < Matrix.cols m then Matrix.get m row col else 0.)
+  let q = Matrix.create ~rows:half ~cols:half in
+  let src = Matrix.data m and dst = Matrix.data q in
+  let src_cols = Matrix.cols m in
+  let rows_avail = min half (Matrix.rows m - (qi * half)) in
+  let cols_avail = min half (src_cols - (qj * half)) in
+  for i = 0 to rows_avail - 1 do
+    Fbuf.blit ~src
+      ~src_pos:(((qi * half) + i) * src_cols + (qj * half))
+      ~dst ~dst_pos:(i * half) ~len:cols_avail
+  done;
+  q
 
 let assemble ~n ~half c11 c12 c21 c22 =
-  Matrix.init ~rows:n ~cols:n (fun i j ->
-      let quadrant = if i < half then (if j < half then c11 else c12)
-                     else if j < half then c21 else c22 in
-      Matrix.get quadrant (i mod half) (j mod half))
+  let out = Matrix.create ~rows:n ~cols:n in
+  let dst = Matrix.data out in
+  let place q ~qi ~qj =
+    let src = Matrix.data q in
+    for i = 0 to half - 1 do
+      Fbuf.blit ~src ~src_pos:(i * half) ~dst
+        ~dst_pos:((((qi * half) + i) * n) + (qj * half))
+        ~len:half
+    done
+  in
+  place c11 ~qi:0 ~qj:0;
+  place c12 ~qi:0 ~qj:1;
+  place c21 ~qi:1 ~qj:0;
+  place c22 ~qi:1 ~qj:1;
+  out
+
+(* Top-left n×n corner of a (possibly padded) larger matrix. *)
+let corner m ~n =
+  let out = Matrix.create ~rows:n ~cols:n in
+  let src = Matrix.data m and dst = Matrix.data out in
+  let src_cols = Matrix.cols m in
+  for i = 0 to n - 1 do
+    Fbuf.blit ~src ~src_pos:(i * src_cols) ~dst ~dst_pos:(i * n) ~len:n
+  done;
+  out
 
 let rec multiply ?(cutoff = 64) a b =
   let n = Matrix.rows a in
@@ -33,8 +70,7 @@ let rec multiply ?(cutoff = 64) a b =
     let c21 = Matrix.add m2 m4 in
     let c22 = Matrix.add (Matrix.add (Matrix.sub m1 m2) m3) m6 in
     let padded = assemble ~n:(2 * half) ~half c11 c12 c21 c22 in
-    if 2 * half = n then padded
-    else Matrix.init ~rows:n ~cols:n (fun i j -> Matrix.get padded i j)
+    if 2 * half = n then padded else corner padded ~n
   end
 
 let rec operation_count ~n ~cutoff =

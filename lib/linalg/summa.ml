@@ -1,3 +1,10 @@
+[@@@nldl.unsafe_zone
+  "distributed validates the grid tiling (Zone.validate_tiling over [0, n)²) \
+   and clamps every panel to [0, n) before the unchecked panel-update loops \
+   over the flat stores (U-audit 2026-08)"]
+
+module Fbuf = Kernels.Fbuf
+
 type stats = { result : Matrix.t; words : int; messages : int; steps : int }
 
 let grid_zones ~grid_rows ~grid_cols ~n =
@@ -24,29 +31,43 @@ let distributed ~grid_rows ~grid_cols ~panel a b =
     invalid_arg "Summa.distributed: square n x n matrices required";
   if panel < 1 || panel > n then invalid_arg "Summa.distributed: panel out of range";
   let zones = grid_zones ~grid_rows ~grid_cols ~n in
+  (match Zone.validate_tiling ~n zones with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Summa.distributed: " ^ msg));
   let result = Matrix.create ~rows:n ~cols:n in
+  (* Tiling validated above and panels clamped to [0, n), so the update
+     loops index the flat row-major stores directly — no per-flop
+     bounds check, no closure per panel.  Each result cell accumulates
+     over [k] ascending (panels in order, [k] ascending within each), so
+     the output is bit-identical to [Matrix.mul]. *)
+  let ad = Matrix.data a and bd = Matrix.data b and rd = Matrix.data result in
   let words = ref 0 and messages = ref 0 and steps = ref 0 in
   let k0 = ref 0 in
   while !k0 < n do
     let width = min panel (n - !k0) in
+    let k_hi = !k0 + width in
     incr steps;
-    Array.iter
-      (fun z ->
-        (* Receive the A panel slice (rows × width) and B panel slice
-           (width × cols) for this step: 2 messages. *)
-        words := !words + (width * Zone.half_perimeter z);
-        messages := !messages + 2;
-        for i = z.Zone.row0 to z.Zone.row0 + z.Zone.rows - 1 do
-          for k = !k0 to !k0 + width - 1 do
-            let aik = Matrix.get a i k in
-            if (aik <> 0.) [@nldl.allow "H302"] (* exact sparse skip *) then
-              for j = z.Zone.col0 to z.Zone.col0 + z.Zone.cols - 1 do
-                Matrix.set result i j (Matrix.get result i j +. (aik *. Matrix.get b k j))
-              done
-          done
-        done)
-      zones;
-    k0 := !k0 + width
+    for w = 0 to Array.length zones - 1 do
+      let z = Array.unsafe_get zones w in
+      (* Receive the A panel slice (rows × width) and B panel slice
+         (width × cols) for this step: 2 messages. *)
+      words := !words + (width * Zone.half_perimeter z);
+      messages := !messages + 2;
+      for i = z.Zone.row0 to z.Zone.row0 + z.Zone.rows - 1 do
+        let abase = i * n and rbase = i * n in
+        for k = !k0 to k_hi - 1 do
+          let aik = Fbuf.unsafe_get ad (abase + k) in
+          if (aik <> 0.) [@nldl.allow "H302"] (* exact sparse skip *) then begin
+            let bbase = k * n in
+            for j = z.Zone.col0 to z.Zone.col0 + z.Zone.cols - 1 do
+              Fbuf.unsafe_set rd (rbase + j)
+                (Fbuf.unsafe_get rd (rbase + j) +. (aik *. Fbuf.unsafe_get bd (bbase + j)))
+            done
+          end
+        done
+      done
+    done;
+    k0 := k_hi
   done;
   { result; words = !words; messages = !messages; steps = !steps }
 

@@ -14,6 +14,8 @@ let scope_of ~file ~(marks : Attrs.file_marks) ~emit : Rules.scope =
     file;
     in_lib = starts_with ~prefix:"lib/" file;
     in_kernels = starts_with ~prefix:"lib/kernels/" file;
+    in_hot =
+      starts_with ~prefix:"lib/kernels/" file || starts_with ~prefix:"lib/linalg/" file;
     unsafe_zone = marks.unsafe_zone <> None;
     domain_safe = marks.domain_safe <> None;
     file_allows = marks.file_allows;

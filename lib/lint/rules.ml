@@ -5,6 +5,7 @@ type scope = {
   file : string;
   in_lib : bool;
   in_kernels : bool;
+  in_hot : bool;  (* lib/kernels/ or lib/linalg/: the flat-buffer hot libraries *)
   unsafe_zone : bool;
   domain_safe : bool;
   file_allows : string list;
@@ -239,7 +240,117 @@ let h303 =
             | _ -> ());
   }
 
-let all = [ d001; d002; u101; s201; h301; h302; h303 ]
+(* Innermost body of a (possibly curried) function expression. *)
+let rec fun_body e =
+  match (peel e).pexp_desc with
+  | Pexp_fun (_, _, _, body) -> fun_body body
+  | _ -> peel e
+
+(* Syntactic "this expression builds a float array": Array.make/init
+   with a float-literal element, Array.create_float, or a float-literal
+   array literal.  Non-literal elements escape the net — this is a
+   linter, not a type checker — but every boxed-matrix constructor the
+   flat-buffer overhaul removed matched one of these shapes. *)
+let constructs_float_array e =
+  match (peel e).pexp_desc with
+  | Pexp_apply (f, args) -> (
+      match ident_path f with
+      | [ "Array"; "create_float" ] -> true
+      | [ "Array"; "make" ] -> (
+          match List.rev args with (_, init) :: _ -> is_float_lit init | [] -> false)
+      | [ "Array"; "init" ] -> (
+          match List.rev args with
+          | (_, f_arg) :: _ -> is_float_lit (fun_body f_arg)
+          | [] -> false)
+      | _ -> false)
+  | Pexp_array (e0 :: _) -> is_float_lit e0
+  | _ -> false
+
+let rec returns_tuple e =
+  match (peel e).pexp_desc with
+  | Pexp_tuple _ -> true
+  | Pexp_let (_, _, body) | Pexp_sequence (_, body) -> returns_tuple body
+  | Pexp_ifthenelse (_, t, Some f) -> returns_tuple t || returns_tuple f
+  | _ -> false
+
+let name_contains name sub =
+  let n = String.length name and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub name i m = sub || go (i + 1)) in
+  go 0
+
+let h305 =
+  {
+    id = "H305";
+    group = "H";
+    synopsis =
+      "no boxed float-matrix construction or tuple-returning slice helpers in \
+       lib/kernels and lib/linalg";
+    extend =
+      (fun scope it ->
+        let it =
+          on_expr
+            (fun scope e ->
+              if scope.in_hot then
+                match e.pexp_desc with
+                | Pexp_apply (f, args) -> (
+                    let flag what =
+                      report scope ~id:"H305" ~loc:e.pexp_loc
+                        (Printf.sprintf
+                           "%s builds a row-per-row boxed float matrix (a pointer chase \
+                            per row and a header per allocation); use a flat row-major \
+                            Kernels.Fbuf, or [@nldl.allow \"H305\"] a cold path"
+                           what)
+                    in
+                    match ident_path f with
+                    | [ "Array"; "make_matrix" ] -> (
+                        match List.rev args with
+                        | (_, init) :: _ when is_float_lit init -> flag "Array.make_matrix"
+                        | _ -> ())
+                    | [ "Array"; "make" ] -> (
+                        match List.rev args with
+                        | (_, elt) :: _ when constructs_float_array elt ->
+                            flag "nested Array.make"
+                        | _ -> ())
+                    | [ "Array"; "init" ] -> (
+                        match List.rev args with
+                        | (_, f_arg) :: _ when constructs_float_array (fun_body f_arg) ->
+                            flag "nested Array.init"
+                        | _ -> ())
+                    | _ -> ())
+                | _ -> ())
+            scope it
+        in
+        {
+          it with
+          structure_item =
+            (fun self si ->
+              (match si.pstr_desc with
+              | Pstr_value (_, vbs) when scope.in_hot && scope.expr_depth = 0 ->
+                  List.iter
+                    (fun vb ->
+                      if not (List.mem "H305" (Attrs.allows vb.pvb_attributes)) then begin
+                        let name = binding_name vb in
+                        if
+                          (name_contains name "bounds" || name_contains name "slice")
+                          && (match (peel vb.pvb_expr).pexp_desc with
+                             | Pexp_fun _ -> returns_tuple (fun_body vb.pvb_expr)
+                             | _ -> false)
+                        then
+                          report scope ~id:"H305" ~loc:vb.pvb_loc
+                            (Printf.sprintf
+                               "slice helper %s returns a tuple, allocating a block per \
+                                query on the hot path; return ints from separate \
+                                accessors or fill a mutable slice record (see \
+                                Kernels.Scatter.slice)"
+                               name)
+                      end)
+                    vbs
+              | _ -> ());
+              it.structure_item self si);
+        });
+  }
+
+let all = [ d001; d002; u101; s201; h301; h302; h303; h305 ]
 
 let catalog =
   List.map (fun r -> (r.id, r.synopsis)) all

@@ -18,12 +18,16 @@
     - {b H} hygiene: H301 [Obj.magic], H302 polymorphic [=]/[<>]/
       [compare] against a float literal in [lib/], H303 [Array.concat]/
       [Array.append] in [lib/kernels] hot paths (H304, missing [.mli],
-      is driver-side). *)
+      is driver-side), H305 boxed float-matrix construction or
+      tuple-returning slice helpers in the hot libraries ([lib/kernels],
+      [lib/linalg]) — flat [Kernels.Fbuf] stores and int accessors /
+      mutable slice records are the sanctioned shapes. *)
 
 type scope = {
   file : string;  (** repo-relative path, ['/'] separators *)
   in_lib : bool;
   in_kernels : bool;
+  in_hot : bool;  (** [lib/kernels/] or [lib/linalg/] (H305's scope) *)
   unsafe_zone : bool;  (** file carries [[\@\@\@nldl.unsafe_zone]] *)
   domain_safe : bool;  (** file carries [[\@\@\@nldl.domain_safe]] *)
   file_allows : string list;

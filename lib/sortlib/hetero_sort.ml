@@ -16,20 +16,20 @@ let run ?s rng star ~keys =
   if Array.length keys = 0 then invalid_arg "Hetero_sort.run: empty input";
   let n = Array.length keys in
   let s = match s with Some s -> s | None -> Sample_sort.default_oversampling ~n in
-  let cmp = Float.compare in
   let weights = Star.speeds star in
   let splitters =
     if Star.size star = 1 then [||]
-    else Sample_sort.weighted_splitters ~cmp rng keys ~weights ~s
+    else Sample_sort.weighted_splitters_floats rng keys ~weights ~s
   in
   Obs.Trace.begin_span "heterosort.partition";
   let flat = Kernels.Scatter.partition_floats keys ~splitters in
   Obs.Trace.end_span "heterosort.partition";
   let sorted = flat.Kernels.Scatter.data in
   Obs.Trace.begin_span "heterosort.bucket_sort";
+  let sl = Kernels.Scatter.slice_make () in
   for b = 0 to Kernels.Scatter.num_buckets flat - 1 do
-    let lo, len = Kernels.Scatter.bucket_bounds flat b in
-    Kernels.Seg_sort.sort_floats sorted ~lo ~len
+    Kernels.Scatter.bucket_slice flat b sl;
+    Kernels.Seg_sort.sort_floats sorted ~lo:sl.Kernels.Scatter.lo ~len:sl.Kernels.Scatter.len
   done;
   Obs.Trace.end_span "heterosort.bucket_sort";
   let bucket_sizes = Kernels.Scatter.bucket_sizes flat in

@@ -13,7 +13,7 @@ let sort ?domains ?s rng keys ~p =
   end
   else begin
     let s = match s with Some s -> s | None -> Sample_sort.default_oversampling ~n in
-    let splitters = Sample_sort.choose_splitters ~cmp:Float.compare rng keys ~p ~s in
+    let splitters = Sample_sort.choose_splitters_floats rng keys ~p ~s in
     let d = match domains with Some d -> max 1 d | None -> Exec.Pool.default_domains () in
     (* Phase 2 through the counting scatter kernel: stable, so the pool
        variant is byte-identical to the sequential one at any domain
@@ -32,9 +32,10 @@ let sort ?domains ?s rng keys ~p =
        so sorting them from different domains is race-free — and the flat
        array is already in bucket order, so no final concat. *)
     Obs.Trace.begin_span "multicore.bucket_sort";
+    (* [bucket_lo]/[bucket_len] rather than a shared slice record: the
+       closure runs concurrently on several domains. *)
     Numerics.Parallel.parallel_for ?domains (Scatter.num_buckets flat) (fun b ->
-        let lo, len = Scatter.bucket_bounds flat b in
-        Seg_sort.sort_floats data ~lo ~len);
+        Seg_sort.sort_floats data ~lo:(Scatter.bucket_lo flat b) ~len:(Scatter.bucket_len flat b));
     Obs.Trace.end_span "multicore.bucket_sort";
     data
   end

@@ -17,6 +17,52 @@ let choose_splitters ?(cmp = compare) rng keys ~p ~s =
   Array.sort cmp sample;
   Array.init (p - 1) (fun j -> sample.((j + 1) * s))
 
+(* Float clone of [take_sample]: a plain fill loop into an unboxed
+   float array — [Array.init] routes every drawn key through the
+   closure's boxed return value. *)
+let take_sample_floats rng (keys : float array) sample count =
+  let n = Array.length keys in
+  for i = 0 to count - 1 do
+    sample.(i) <- keys.(Rng.int rng n)
+  done
+
+let choose_splitters_floats rng (keys : float array) ~p ~s =
+  if p < 1 then invalid_arg "Sample_sort.choose_splitters_floats: p must be >= 1";
+  if s < 1 then invalid_arg "Sample_sort.choose_splitters_floats: s must be >= 1";
+  if Array.length keys = 0 then invalid_arg "Sample_sort.choose_splitters_floats: empty input";
+  (* Same draws, same ranks as the generic path, but the sample is
+     sorted in place by the monomorphic introsort — [Array.sort
+     Float.compare] boxes both floats of every comparison, which made
+     phase 1 allocate more than the scatter it feeds. *)
+  let sample = Array.make (s * p) 0. in
+  take_sample_floats rng keys sample (s * p);
+  Kernels.Seg_sort.sort_floats sample ~lo:0 ~len:(s * p);
+  Array.init (p - 1) (fun j -> sample.((j + 1) * s))
+
+let weighted_splitters_floats rng (keys : float array) ~weights ~s =
+  let p = Array.length weights in
+  if p < 1 then invalid_arg "Sample_sort.weighted_splitters_floats: empty weights";
+  if s < 1 then invalid_arg "Sample_sort.weighted_splitters_floats: s must be >= 1";
+  if Array.length keys = 0 then
+    invalid_arg "Sample_sort.weighted_splitters_floats: empty input";
+  Array.iter
+    (fun w ->
+      if w <= 0. || Float.is_nan w then
+        invalid_arg "Sample_sort.weighted_splitters_floats: bad weight")
+    weights;
+  let total = Numerics.Kahan.sum weights in
+  let sample_size = s * p in
+  let sample = Array.make sample_size 0. in
+  take_sample_floats rng keys sample sample_size;
+  Kernels.Seg_sort.sort_floats sample ~lo:0 ~len:sample_size;
+  let cumulative = ref 0. in
+  Array.init (p - 1) (fun j ->
+      cumulative := !cumulative +. weights.(j);
+      let rank =
+        int_of_float (Float.round (!cumulative /. total *. float_of_int sample_size))
+      in
+      sample.(min (max rank 0) (sample_size - 1)))
+
 let weighted_splitters ?(cmp = compare) rng keys ~weights ~s =
   let p = Array.length weights in
   if p < 1 then invalid_arg "Sample_sort.weighted_splitters: empty weights";
@@ -69,9 +115,10 @@ let sort ?(cmp = compare) ?s rng keys ~p =
     Obs.Trace.end_span "samplesort.partition";
     let data = flat.Kernels.Scatter.data in
     Obs.Trace.begin_span "samplesort.bucket_sort";
+    let sl = Kernels.Scatter.slice_make () in
     for b = 0 to Kernels.Scatter.num_buckets flat - 1 do
-      let lo, len = Kernels.Scatter.bucket_bounds flat b in
-      Kernels.Seg_sort.sort ~cmp data ~lo ~len
+      Kernels.Scatter.bucket_slice flat b sl;
+      Kernels.Seg_sort.sort ~cmp data ~lo:sl.Kernels.Scatter.lo ~len:sl.Kernels.Scatter.len
     done;
     Obs.Trace.end_span "samplesort.bucket_sort";
     data

@@ -38,6 +38,16 @@ val weighted_splitters :
     so splitter [i] is the sample key of rank
     [round(cum_i · sample_size)]. *)
 
+val choose_splitters_floats : Numerics.Rng.t -> float array -> p:int -> s:int -> float array
+(** Monomorphic {!choose_splitters}: same draws and ranks, but the
+    sample fill and sort never box a key ([Array.sort Float.compare]
+    boxes both sides of every comparison), so phase 1 allocates [O(s·p)]
+    instead of [O(s·p·log(s·p))] words. *)
+
+val weighted_splitters_floats :
+  Numerics.Rng.t -> float array -> weights:float array -> s:int -> float array
+(** Monomorphic {!weighted_splitters}. *)
+
 val bucket_index : ?cmp:('a -> 'a -> int) -> 'a array -> 'a -> int
 (** [bucket_index splitters key]: the bucket of [key], by binary search
     — [O(log p)] comparisons (phase 2's [N log p] master cost). *)

@@ -65,7 +65,7 @@ let test_partition_respects_splitters () =
   let splitters = float_splitters ~seed:4 keys ~p:8 in
   let flat = Scatter.partition_floats keys ~splitters in
   for b = 0 to Scatter.num_buckets flat - 1 do
-    let lo, len = Scatter.bucket_bounds flat b in
+    let lo = Scatter.bucket_lo flat b and len = Scatter.bucket_len flat b in
     for i = lo to lo + len - 1 do
       let key = flat.Scatter.data.(i) in
       if b > 0 then checkb "above previous splitter" true (key >= splitters.(b - 1));
@@ -289,9 +289,10 @@ let test_partition_allocation_o_p () =
   let flat = Scatter.partition_floats keys ~splitters in
   let sort_alloc =
     minor_words_of (fun () ->
+        let sl = Scatter.slice_make () in
         for b = 0 to Scatter.num_buckets flat - 1 do
-          let lo, len = Scatter.bucket_bounds flat b in
-          Seg_sort.sort_floats flat.Scatter.data ~lo ~len
+          Scatter.bucket_slice flat b sl;
+          Seg_sort.sort_floats flat.Scatter.data ~lo:sl.Scatter.lo ~len:sl.Scatter.len
         done)
   in
   checkb

@@ -109,6 +109,27 @@ let h_rules =
     Alcotest.test_case "H303 silent outside kernels" `Quick
       (check_clean ~rule:"H303" ~file:"lib/des/x.ml"
          "let f xs = Array.concat xs");
+    Alcotest.test_case "H305 float make_matrix in kernels" `Quick
+      (check_fires "H305" ~file:"lib/kernels/x.ml"
+         "let m = Array.make_matrix 3 3 0.");
+    Alcotest.test_case "H305 nested float rows in linalg" `Quick
+      (check_fires "H305" ~file:"lib/linalg/x.ml"
+         "let m n = Array.init n (fun _ -> Array.make n 0.)");
+    Alcotest.test_case "H305 silent on int make_matrix" `Quick
+      (check_clean ~rule:"H305" ~file:"lib/kernels/x.ml"
+         "let m = Array.make_matrix 3 3 0");
+    Alcotest.test_case "H305 silent outside the hot libs" `Quick
+      (check_clean ~rule:"H305" ~file:"lib/des/x.ml"
+         "let m = Array.make_matrix 3 3 0.");
+    Alcotest.test_case "H305 tuple-returning slice helper" `Quick
+      (check_fires "H305" ~file:"lib/kernels/x.ml"
+         "let bucket_bounds t b = (t + b, t - b)");
+    Alcotest.test_case "H305 int slice accessor is fine" `Quick
+      (check_clean ~rule:"H305" ~file:"lib/kernels/x.ml"
+         "let bucket_lo t b = t + b");
+    Alcotest.test_case "H305 binding allow suppresses" `Quick
+      (check_clean ~rule:"H305" ~file:"lib/kernels/x.ml"
+         "let bucket_bounds t b = (t + b, t - b) [@@nldl.allow \"H305\"]");
     Alcotest.test_case "X001 unknown nldl attribute" `Quick
       (check_fires "X001" ~file:"lib/des/x.ml"
          "[@@@nldl.unsfe_zone \"typo\"]\nlet x = 1");
