@@ -34,6 +34,23 @@ let arg_value flag =
 let check_alloc_path = arg_value "--check-alloc"
 let write_alloc_path = arg_value "--write-alloc-baseline"
 
+(* [--check-throughput PATH]: gate the discrete-event core's events/sec
+   against the committed BENCH_results.json (PATH usually names that
+   very file, so it is read eagerly here — before the run overwrites it
+   at the end). *)
+let check_throughput_path = arg_value "--check-throughput"
+
+let throughput_baseline =
+  match check_throughput_path with
+  | None -> None
+  | Some path ->
+      let ic = open_in_bin path in
+      let raw = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      (match Obs.Json.of_string raw with
+      | Ok json -> Some (path, json)
+      | Error e -> failwith (Printf.sprintf "--check-throughput %s: %s" path e))
+
 (* [--trace [FILE]]: record Obs spans for the whole run and write a
    Chrome trace-event JSON.  [--metrics]: enable the metrics registry
    and embed the merged snapshot in BENCH_results.json. *)
@@ -107,6 +124,15 @@ let test_event_queue =
          while not (Des.Event_queue.is_empty q) do
            ignore (Des.Event_queue.pop q)
          done))
+
+let test_event_heap =
+  (* [exercise] drives push+pop from inside the module, so the number
+     does not depend on cross-module inlining (dev profiles pass
+     [-opaque], which would box one float per out-of-module push). *)
+  Test.make ~name:"event heap push+pop (10k)"
+    (Staged.stage (fun () ->
+         let h = Des.Event_heap.create ~initial_capacity:10_000 () in
+         Des.Event_heap.exercise h ~rounds:1 ~batch:10_000))
 
 let test_strassen =
   let rng = Core.Rng.create ~seed:7 () in
@@ -291,7 +317,16 @@ let report_pool_overhead () =
 let report_fig4_scaling () =
   (* Domain-count scaling of the Fig. 4 Monte-Carlo sweep, with an
      output-identity check: the pre-split per-trial RNGs make the rows
-     byte-identical at any domain count. *)
+     byte-identical at any domain count.
+
+     Each domain count is timed as the median of three sweeps after an
+     untimed warm-up: a single-shot timing once recorded a phantom
+     0.786x "regression" at 2 domains that median sampling does not
+     reproduce (see EXPERIMENTS.md).  Domain counts above the
+     hardware's recommended count are still measured (the series keeps
+     its shape across hosts) but flagged [oversubscribed]: on such
+     hosts the extra domain can only time-slice, so speedup ~1.0 is
+     the expected reading, not a regression. *)
   let trials = if quick then 10 else 100 in
   let processor_counts = if quick then [ 10; 20; 40 ] else Experiments.Fig4.default_processor_counts in
   let profile = Core.Profiles.paper_lognormal in
@@ -303,11 +338,19 @@ let report_fig4_scaling () =
   let runs =
     List.map
       (fun d ->
-        let points, seconds =
-          elapsed_s (fun () ->
-              Experiments.Fig4.sweep ~processor_counts ~trials ~domains:d profile)
+        let points =
+          Experiments.Fig4.sweep ~processor_counts ~trials ~domains:d profile
         in
-        (d, seconds, Experiments.Fig4.csv points))
+        let times =
+          Array.init 3 (fun _ ->
+              let _, s =
+                elapsed_s (fun () ->
+                    Experiments.Fig4.sweep ~processor_counts ~trials ~domains:d profile)
+              in
+              s)
+        in
+        Array.sort Float.compare times;
+        (d, times.(1), Experiments.Fig4.csv points))
       domain_counts
   in
   let _, base_seconds, base_csv = List.hd runs in
@@ -315,7 +358,8 @@ let report_fig4_scaling () =
     List.for_all (fun (_, _, csv) -> csv = base_csv) runs
   in
   Experiments.Report.section
-    (Printf.sprintf "Fig. 4 sweep domain scaling (lognormal, %d trials/point)" trials);
+    (Printf.sprintf "Fig. 4 sweep domain scaling (lognormal, %d trials/point, %d hardware domains)"
+       trials max_d);
   let table =
     Numerics.Ascii_table.create ~headers:[ "domains"; "seconds"; "speedup"; "output" ]
   in
@@ -323,7 +367,7 @@ let report_fig4_scaling () =
     (fun (d, seconds, csv) ->
       Numerics.Ascii_table.add_row table
         [
-          string_of_int d;
+          (if d > max_d then Printf.sprintf "%d (oversubscribed)" d else string_of_int d);
           Printf.sprintf "%.3f" seconds;
           Printf.sprintf "%.2fx" (base_seconds /. seconds);
           (if csv = base_csv then "identical" else "DIFFERS");
@@ -335,6 +379,7 @@ let report_fig4_scaling () =
   Obs.Json.Obj
     [
       ("trials", Obs.Json.Int trials);
+      ("hardware_domains", Obs.Json.Int max_d);
       ("outputs_identical", Obs.Json.Bool identical);
       ( "runs",
         Obs.Json.List
@@ -345,9 +390,222 @@ let report_fig4_scaling () =
                    ("domains", Obs.Json.Int d);
                    ("seconds", Obs.Json.Float seconds);
                    ("speedup", Obs.Json.Float (base_seconds /. seconds));
+                   ("oversubscribed", Obs.Json.Bool (d > max_d));
                  ])
              runs) );
     ]
+
+(* --- Discrete-event core throughput ------------------------------------ *)
+
+(* Sustained seconds per [n]-push-[n]-pop cycle: median of [samples]
+   timed blocks, GC work left inside the timed region.  Bechamel-style
+   stabilized sampling would let the allocating queue dodge its
+   collections, a mean would let one descheduling hiccup sink the gated
+   rate; the median of sustained blocks avoids both.  One untimed
+   warm-up call grows the buffers first. *)
+let sustained ~samples ~rounds f =
+  f ();
+  let times =
+    Array.init samples (fun _ ->
+        let (), s =
+          elapsed_s (fun () ->
+              for _ = 1 to rounds do
+                f ()
+              done)
+        in
+        s /. float_of_int rounds)
+  in
+  Array.sort Float.compare times;
+  times.(samples / 2)
+
+let rounds_for n = max 1 (400_000 / n)
+
+let time_heap_push_pop n =
+  let h = Des.Event_heap.create ~initial_capacity:n () in
+  sustained ~samples:(if n >= 1_000_000 then 3 else 5) ~rounds:(rounds_for n)
+    (fun () -> Des.Event_heap.exercise h ~rounds:1 ~batch:n)
+
+let time_queue_push_pop n =
+  let run () =
+    let q = Des.Event_queue.create () in
+    for i = 0 to n - 1 do
+      Des.Event_queue.push q ~priority:(float_of_int ((i * 7919) land 0xFFFFF)) i
+    done;
+    while not (Des.Event_queue.is_empty q) do
+      ignore (Des.Event_queue.pop q)
+    done
+  in
+  sustained ~samples:3 ~rounds:(rounds_for n) run
+
+let report_des_throughput () =
+  Experiments.Report.section "Discrete-event core throughput (events/sec)";
+  (* Heap vs boxed queue, like for like, at both scales.  The 10k point
+     is the historical micro-benchmark; the 1M point is what this PR is
+     for — the boxed queue collapses there (deep boxed comparisons plus
+     a multi-megabyte live set the minor GC walks), which is exactly the
+     gap the flat heap closes. *)
+  let rate_of n s = float_of_int (2 * n) /. s in
+  let heap_s_10k = time_heap_push_pop 10_000 in
+  let queue_s_10k = time_queue_push_pop 10_000 in
+  let heap_s_1m = time_heap_push_pop 1_000_000 in
+  let queue_s_1m = time_queue_push_pop 1_000_000 in
+  let heap_rate_10k = rate_of 10_000 heap_s_10k in
+  let queue_rate_10k = rate_of 10_000 queue_s_10k in
+  let heap_rate_1m = rate_of 1_000_000 heap_s_1m in
+  let queue_rate_1m = rate_of 1_000_000 queue_s_1m in
+  let speedup_10k = heap_rate_10k /. queue_rate_10k in
+  let speedup_1m = heap_rate_1m /. queue_rate_1m in
+  let table =
+    Numerics.Ascii_table.create ~headers:[ "workload"; "events/sec"; "seconds" ]
+  in
+  Numerics.Ascii_table.set_align table [ Numerics.Ascii_table.Left; Right; Right ];
+  List.iter
+    (fun (name, r, s) ->
+      Numerics.Ascii_table.add_row table
+        [ name; Printf.sprintf "%.3e" r; Printf.sprintf "%.4f" s ])
+    [
+      ("heap push+pop (10000)", heap_rate_10k, heap_s_10k);
+      ("queue push+pop (10000)", queue_rate_10k, queue_s_10k);
+      ("heap push+pop (1000000)", heap_rate_1m, heap_s_1m);
+      ("queue push+pop (1000000)", queue_rate_1m, queue_s_1m);
+    ];
+  (* Fault-injected MapReduce at paper-sweep scale: the end-to-end
+     events/sec of the rewritten scheduler, [events_processed] over wall
+     time.  This one does NOT shrink in --quick — 10^5 workers x 10^6
+     tasks is the ISSUE 7 headline and the whole run is ~3s, so CI and
+     the committed artifact always gate like-for-like at full scale
+     (the rate is scale-dependent: the 10x smaller run clocks ~3x
+     higher events/sec on a smaller working set).  Low fault rates keep
+     the workload dominated by regular dispatch: ~0.1% of workers crash
+     (with recovery), 1% are slowed, and every link drops 1% of
+     fetches. *)
+  let workers = 100_000 in
+  let n_tasks = 1_000_000 in
+  let star = Core.Star.of_speeds (List.init workers (fun _ -> 1.)) in
+  let tasks =
+    Array.init n_tasks (fun i -> Core.Mr_task.make ~id:i ~data_ids:[| i |] ~cost:1.)
+  in
+  let faults =
+    Fault.Plan.generate
+      ~rng:(Core.Rng.create ~seed:42 ())
+      ~p:workers ~horizon:20. ~crash_rate:0.001 ~slowdown_rate:0.01
+      ~fetch_failure:0.01 ()
+  in
+  (* The run is deterministic, so timing the same simulation twice and
+     keeping the faster pass is pure noise control; the [full_major]
+     keeps garbage from the queue loop above (and from the first pass)
+     out of the timed region. *)
+  Gc.full_major ();
+  let outcome, s1 =
+    elapsed_s (fun () ->
+        Core.Mr_scheduler.run ~faults star ~tasks ~block_size:(fun _ -> 1.))
+  in
+  Gc.full_major ();
+  let _, s2 =
+    elapsed_s (fun () ->
+        Core.Mr_scheduler.run ~faults star ~tasks ~block_size:(fun _ -> 1.))
+  in
+  let seconds = Float.min s1 s2 in
+  let events = outcome.Core.Mr_scheduler.events_processed in
+  let mr_rate = float_of_int events /. seconds in
+  Numerics.Ascii_table.add_row table
+    [
+      Printf.sprintf "mapreduce %dx%d (faults on)" workers n_tasks;
+      Printf.sprintf "%.3e" mr_rate;
+      Printf.sprintf "%.4f" seconds;
+    ];
+  Numerics.Ascii_table.print table;
+  Printf.printf
+    "Heap vs queue: %.1fx at 10k, %.1fx at 1M; large MapReduce: %d events, makespan \
+     %.2f, %d retries, %d crashes, %d unfinished\n%!"
+    speedup_10k speedup_1m events outcome.Core.Mr_scheduler.makespan
+    outcome.Core.Mr_scheduler.retries outcome.Core.Mr_scheduler.crashes_survived
+    (List.length outcome.Core.Mr_scheduler.unfinished);
+  Obs.Json.Obj
+    [
+      ("heap_ops_per_sec_10k", Obs.Json.Float heap_rate_10k);
+      ("heap_ops_per_sec_1m", Obs.Json.Float heap_rate_1m);
+      ("queue_ops_per_sec_10k", Obs.Json.Float queue_rate_10k);
+      ("queue_ops_per_sec_1m", Obs.Json.Float queue_rate_1m);
+      ("heap_vs_queue_speedup_10k", Obs.Json.Float speedup_10k);
+      ("heap_vs_queue_speedup_1m", Obs.Json.Float speedup_1m);
+      ( "mapreduce",
+        Obs.Json.Obj
+          [
+            ("workers", Obs.Json.Int workers);
+            ("tasks", Obs.Json.Int n_tasks);
+            ("events_processed", Obs.Json.Int events);
+            ("seconds", Obs.Json.Float seconds);
+            ("events_per_sec", Obs.Json.Float mr_rate);
+            ("makespan", Obs.Json.Float outcome.Core.Mr_scheduler.makespan);
+            ("retries", Obs.Json.Int outcome.Core.Mr_scheduler.retries);
+            ( "crashes_survived",
+              Obs.Json.Int outcome.Core.Mr_scheduler.crashes_survived );
+            ( "unfinished",
+              Obs.Json.Int (List.length outcome.Core.Mr_scheduler.unfinished) );
+          ] );
+    ]
+
+(* Hard gate on the DES core: (a) the heap must hold a >= 4x (10k) and
+   >= 6x (1M, the scale this core exists for) throughput lead over the
+   boxed queue measured in this very run — ratios of two timings from
+   the same process, so machine speed cancels out; and (b) the headline
+   events/sec — heap at 1M and the large MapReduce — must stay within
+   10% of the committed artifact.  (b) is a wall-clock rate, so unlike
+   the allocation gate it assumes runners comparable to the one that
+   produced the committed numbers; ISSUE 7 wants the headline gated
+   hard, so it is. *)
+let check_throughput fresh =
+  match throughput_baseline with
+  | None -> true
+  | Some (path, committed) ->
+      let failures = ref [] in
+      let rec get json = function
+        | [] -> Some json
+        | k :: rest -> (
+            match Obs.Json.member k json with
+            | Some v -> get v rest
+            | None -> None)
+      in
+      let num = function
+        | Some (Obs.Json.Float f) -> Some f
+        | Some (Obs.Json.Int i) -> Some (float_of_int i)
+        | _ -> None
+      in
+      List.iter
+        (fun (key, floor) ->
+          match num (get fresh [ key ]) with
+          | Some r when r >= floor -> ()
+          | Some r ->
+              failures :=
+                Printf.sprintf "%s %.2fx < required %.0fx floor" key r floor
+                :: !failures
+          | None -> failures := Printf.sprintf "%s missing from fresh run" key :: !failures)
+        [ ("heap_vs_queue_speedup_10k", 4.0); ("heap_vs_queue_speedup_1m", 6.0) ];
+      List.iter
+        (fun keys ->
+          let name = String.concat "." keys in
+          match (num (get fresh keys), num (get committed ("des_throughput" :: keys))) with
+          | Some f, Some c ->
+              if f < 0.9 *. c then
+                failures :=
+                  Printf.sprintf "%s: %.3e/s < 90%% of committed %.3e/s" name f c
+                  :: !failures
+          | _, None ->
+              failures :=
+                Printf.sprintf
+                  "%s missing from %s — regenerate the committed artifact" name path
+                :: !failures
+          | None, _ -> failures := Printf.sprintf "%s missing from fresh run" name :: !failures)
+        [ [ "heap_ops_per_sec_1m" ]; [ "mapreduce"; "events_per_sec" ] ];
+      (match List.rev !failures with
+      | [] ->
+          Printf.printf "\nThroughput check against %s: OK\n%!" path;
+          true
+      | failures ->
+          Printf.printf "\nThroughput check against %s: FAILED\n%!" path;
+          List.iter (fun f -> Printf.printf "  REGRESSION %s\n%!" f) failures;
+          false)
 
 (* --- Allocation accounting --------------------------------------------- *)
 
@@ -435,7 +693,7 @@ let report_allocations () =
    lines carry a `ratchet` marker, and the gate holds them to the
    baseline itself (no 10% headroom) so the order-of-magnitude win
    cannot silently erode. *)
-let ratcheted_kernels = [ "psrs_sort"; "histogram_splitters" ]
+let ratcheted_kernels = [ "psrs_sort"; "histogram_splitters"; "multicore_sort" ]
 
 (* Baseline file: one `name minor_words major_words [ratchet]` line per
    kernel. *)
@@ -521,6 +779,7 @@ let run_micro_benchmarks () =
   let tests =
     [
       test_event_queue;
+      test_event_heap;
       test_peri_sum;
       test_peri_max;
       test_demand_driven;
@@ -644,6 +903,7 @@ let () =
   let sort_throughput = report_sort_throughput () in
   let pool = report_pool_overhead () in
   let fig4_scaling = report_fig4_scaling () in
+  let des_throughput = report_des_throughput () in
   let alloc_measured, allocations = report_allocations () in
   (match write_alloc_path with
   | Some path -> write_alloc_baseline path alloc_measured
@@ -665,6 +925,7 @@ let () =
          ("multicore_sort", multicore);
          ("sort_throughput", sort_throughput);
          ("fig4_scaling", fig4_scaling);
+         ("des_throughput", des_throughput);
          ("allocations", allocations);
        ]
       @ if metrics_on then [ ("metrics", Obs.Export.metrics_json ()) ] else [])
@@ -685,5 +946,6 @@ let () =
     | Some path -> check_alloc_baseline path alloc_measured
     | None -> true
   in
+  let throughput_ok = check_throughput des_throughput in
   Printf.printf "\nDone.\n%!";
-  if not alloc_ok then exit 1
+  if not (alloc_ok && throughput_ok) then exit 1

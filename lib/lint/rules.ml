@@ -350,7 +350,26 @@ let h305 =
         });
   }
 
-let all = [ d001; d002; u101; s201; h301; h302; h303; h305 ]
+let h306 =
+  {
+    id = "H306";
+    group = "H";
+    synopsis = "no new Des.Event_queue usage in lib/ (frozen; use Des.Event_heap)";
+    extend =
+      on_expr (fun scope e ->
+          if scope.in_lib && scope.file <> "lib/des/event_queue.ml" then
+            match ident_path e with
+            | "Event_queue" :: _ :: _ | "Des" :: "Event_queue" :: _ | "Core" :: "Event_queue" :: _ ->
+                report scope ~id:"H306" ~loc:e.pexp_loc
+                  (Printf.sprintf
+                     "%s: the boxed event queue is frozen (kept only as the \
+                      Event_heap test oracle); new DES code uses Des.Event_heap — \
+                      flat buffers, zero per-op allocation (see DESIGN.md s13)"
+                     (String.concat "." (ident_path e)))
+            | _ -> ());
+  }
+
+let all = [ d001; d002; u101; s201; h301; h302; h303; h305; h306 ]
 
 let catalog =
   List.map (fun r -> (r.id, r.synopsis)) all

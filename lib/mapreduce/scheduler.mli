@@ -89,6 +89,9 @@ type outcome = {
   wasted_work : float;
       (** work units spent on copies that lost the duplicate race, were
           killed by a crash, or aborted on fetch exhaustion *)
+  events_processed : int;
+      (** discrete events popped during the simulation — the numerator
+          of the events/sec throughput benchmark *)
   fault_log : Fault.Clock.event list;  (** injected events, in order *)
 }
 

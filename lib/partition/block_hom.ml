@@ -37,19 +37,18 @@ let demand_driven star ~n ~k =
   let finish_times = Array.make p 0. in
   (* Demand-driven = each worker requests a block the instant it becomes
      idle; ties at t = 0 resolved by worker index (FIFO). *)
-  let queue = Des.Event_queue.create ~initial_capacity:p () in
+  let queue = Des.Event_heap.create ~initial_capacity:p () in
   for i = 0 to p - 1 do
-    Des.Event_queue.push queue ~priority:0. i
+    Des.Event_heap.push queue ~priority:0. i
   done;
   for b = 0 to blocks - 1 do
-    match Des.Event_queue.pop queue with
-    | None -> assert false
-    | Some (now, i) ->
-        let finish = now +. Processor.compute_time workers.(i) ~work:block_work in
-        owners.(b) <- i;
-        per_worker.(i) <- per_worker.(i) + 1;
-        finish_times.(i) <- finish;
-        Des.Event_queue.push queue ~priority:finish i
+    let now = Des.Event_heap.min_priority queue in
+    let i = Des.Event_heap.pop queue in
+    let finish = now +. Processor.compute_time workers.(i) ~work:block_work in
+    owners.(b) <- i;
+    per_worker.(i) <- per_worker.(i) + 1;
+    finish_times.(i) <- finish;
+    Des.Event_heap.push queue ~priority:finish i
   done;
   let tmax = Array.fold_left Float.max 0. finish_times in
   let tmin = Array.fold_left Float.min infinity finish_times in

@@ -41,20 +41,19 @@ let hom ?(k = 1) star ~n =
   let comm = Array.make p 0. in
   (* Demand-driven with the fetch folded into each block's service
      time: the worker requests, receives, computes, requests again. *)
-  let queue = Des.Event_queue.create ~initial_capacity:p () in
+  let queue = Des.Event_heap.create ~initial_capacity:p () in
   for i = 0 to p - 1 do
-    Des.Event_queue.push queue ~priority:0. i
+    Des.Event_heap.push queue ~priority:0. i
   done;
   for _ = 1 to blocks do
-    match Des.Event_queue.pop queue with
-    | None -> assert false
-    | Some (now, i) ->
-        let proc = workers.(i) in
-        let fetch = Processor.transfer_time proc ~data:block_data in
-        let finish = now +. fetch +. Processor.compute_time proc ~work:block_work in
-        comm.(i) <- comm.(i) +. fetch;
-        per_worker.(i) <- finish;
-        Des.Event_queue.push queue ~priority:finish i
+    let now = Des.Event_heap.min_priority queue in
+    let i = Des.Event_heap.pop queue in
+    let proc = workers.(i) in
+    let fetch = Processor.transfer_time proc ~data:block_data in
+    let finish = now +. fetch +. Processor.compute_time proc ~work:block_work in
+    comm.(i) <- comm.(i) +. fetch;
+    per_worker.(i) <- finish;
+    Des.Event_heap.push queue ~priority:finish i
   done;
   of_finish_times ~comm per_worker
 

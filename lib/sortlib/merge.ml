@@ -24,8 +24,7 @@ let two_way a b =
 (* Reusable k-way merge state: a manual binary min-heap over (head
    value, run index) pairs kept in two parallel flat arrays, plus
    per-run read cursors.  Allocated once per sort, so the merge phase
-   itself allocates nothing — the [Event_queue]-backed [k_way] below
-   boxes a float per push. *)
+   itself allocates nothing. *)
 type merger = {
   heap_val : float array;  (* heap slot -> current head value of the run *)
   heap_run : int array;  (* heap slot -> run index *)
@@ -104,7 +103,11 @@ let k_way_strided mg ~src ~bounds ~runs ~stride ~off ~dst ~dst_lo =
   done;
   !out - dst_lo
 
-(* Min-heap of (value, run index); cursors track each run's position. *)
+(* List-of-runs convenience entry point: pack the runs into one flat
+   buffer and reuse the strided zero-alloc merger above.  (This used to
+   carry its own [Des.Event_queue] heap — the last boxed merge path;
+   equal keys are equal floats, so the output is byte-identical
+   whichever run a tie is drawn from.) *)
 let k_way runs =
   List.iter (fun run -> assert (is_sorted run)) runs;
   let runs = Array.of_list (List.filter (fun r -> Array.length r > 0) runs) in
@@ -113,20 +116,19 @@ let k_way runs =
   else if k = 1 then Array.copy runs.(0)
   else begin
     let total = Array.fold_left (fun acc r -> acc + Array.length r) 0 runs in
-    let out = Array.make total 0. in
-    let cursor = Array.make k 0 in
-    let heap = Des.Event_queue.create ~initial_capacity:k () in
+    let src = Array.make total 0. in
+    let bounds = Array.make (k + 1) 0 in
+    let off = ref 0 in
     for r = 0 to k - 1 do
-      Des.Event_queue.push heap ~priority:runs.(r).(0) r
+      bounds.(r) <- !off;
+      Array.blit runs.(r) 0 src !off (Array.length runs.(r));
+      off := !off + Array.length runs.(r)
     done;
-    for slot = 0 to total - 1 do
-      match Des.Event_queue.pop heap with
-      | None -> assert false
-      | Some (value, r) ->
-          out.(slot) <- value;
-          cursor.(r) <- cursor.(r) + 1;
-          if cursor.(r) < Array.length runs.(r) then
-            Des.Event_queue.push heap ~priority:runs.(r).(cursor.(r)) r
-    done;
-    out
+    bounds.(k) <- total;
+    let dst = Array.make total 0. in
+    let merged =
+      k_way_strided (merger ~k) ~src ~bounds ~runs:k ~stride:1 ~off:0 ~dst ~dst_lo:0
+    in
+    assert (merged = total);
+    dst
   end

@@ -76,6 +76,130 @@ let qcheck_queue_sorted =
       let popped = drain [] in
       popped = List.sort Float.compare priorities)
 
+module Event_heap = Des.Event_heap
+
+(* Drain the heap into (priority, payload) pairs, reading the priority
+   before each pop as the API prescribes. *)
+let drain_heap h =
+  let rec loop acc =
+    if Event_heap.is_empty h then List.rev acc
+    else
+      let p = Event_heap.min_priority h in
+      let v = Event_heap.pop h in
+      loop ((p, v) :: acc)
+  in
+  loop []
+
+let test_heap_matches_queue_oracle () =
+  (* Same pushes into both structures; the boxed queue's snapshot is the
+     ordering oracle, equal-priority FIFO included. *)
+  let q = Event_queue.create () in
+  let h = Event_heap.create () in
+  let rng = ref 123456789 in
+  let next () =
+    rng := (!rng * 1103515245) + 12345;
+    (!rng lsr 11) land 0xFFFF
+  in
+  for i = 0 to 999 do
+    (* few distinct priorities, so ties are common *)
+    let p = float_of_int (next () mod 17) in
+    Event_queue.push q ~priority:p i;
+    Event_heap.push h ~priority:p i
+  done;
+  let expected = Event_queue.to_sorted_list q in
+  Alcotest.(check (list (pair (float 0.) int)))
+    "heap pop order = queue oracle" expected (drain_heap h)
+
+let qcheck_heap_sorted =
+  QCheck.Test.make ~name:"event heap pops in oracle order" ~count:200
+    QCheck.(list_of_size Gen.(int_range 0 200) (float_range 0. 50.))
+    (fun priorities ->
+      let q = Event_queue.create () in
+      let h = Event_heap.create ~initial_capacity:1 () in
+      List.iteri
+        (fun i p ->
+          Event_queue.push q ~priority:p i;
+          Event_heap.push h ~priority:p i)
+        priorities;
+      drain_heap h = Event_queue.to_sorted_list q)
+
+let test_heap_fifo_ties () =
+  let h = Event_heap.create () in
+  List.iter (fun v -> Event_heap.push h ~priority:1. v) [ 1; 2; 3; 4 ];
+  let order = List.map snd (drain_heap h) in
+  Alcotest.(check (list int)) "FIFO within a timestamp" [ 1; 2; 3; 4 ] order
+
+let test_heap_growth () =
+  let h = Event_heap.create ~initial_capacity:4 () in
+  Alcotest.(check int) "initial capacity" 4 (Event_heap.capacity h);
+  for i = 0 to 99 do
+    Event_heap.push h ~priority:(float_of_int (99 - i)) i
+  done;
+  Alcotest.(check int) "size" 100 (Event_heap.size h);
+  checkb "capacity doubled past demand" true (Event_heap.capacity h >= 100);
+  Alcotest.(check (list (pair (float 0.) int)))
+    "order survives growth"
+    (List.init 100 (fun k -> (float_of_int k, 99 - k)))
+    (drain_heap h)
+
+let test_heap_nan () =
+  let h = Event_heap.create () in
+  Alcotest.check_raises "nan rejected" (Invalid_argument "Event_heap.push: NaN priority")
+    (fun () -> Event_heap.push h ~priority:Float.nan 0)
+
+let test_heap_empty_pop () =
+  let h = Event_heap.create () in
+  checkb "empty" true (Event_heap.is_empty h);
+  Alcotest.check_raises "pop on empty" (Invalid_argument "Event_heap.pop: empty heap")
+    (fun () -> ignore (Event_heap.pop h))
+
+let test_heap_clear () =
+  let h = Event_heap.create () in
+  Event_heap.push h ~priority:2. 7;
+  Event_heap.push h ~priority:1. 8;
+  Event_heap.clear h;
+  checkb "cleared" true (Event_heap.is_empty h);
+  (* seq restarts, so post-clear ties are FIFO again *)
+  Event_heap.push h ~priority:1. 10;
+  Event_heap.push h ~priority:1. 11;
+  Alcotest.(check (list int)) "fresh FIFO after clear" [ 10; 11 ]
+    (List.map snd (drain_heap h))
+
+let minor_words_of f =
+  Gc.full_major ();
+  let before = Gc.minor_words () in
+  f ();
+  Gc.minor_words () -. before
+
+let test_heap_zero_alloc () =
+  (* Steady-state push+pop at fixed capacity: zero minor words per op.
+     [exercise] drives the loop from inside the module, so the proof
+     holds in dev-profile builds too (dune's [-opaque] disables the
+     cross-module inlining that unboxes [push]'s float argument; see
+     the cross-module test below for that path). *)
+  let h = Event_heap.create ~initial_capacity:4096 () in
+  Event_heap.exercise h ~rounds:1 ~batch:2048;
+  let words = minor_words_of (fun () -> Event_heap.exercise h ~rounds:4 ~batch:2048) in
+  Alcotest.(check (float 0.)) "0 minor words for 8192 push + 8192 pop" 0. words
+
+let test_heap_cross_module_alloc_bound () =
+  (* The out-of-module call path: zero in release builds, at most the
+     one boxed float argument per push (2 words) under dev's [-opaque].
+     Anything above that means the heap itself started allocating. *)
+  let h = Event_heap.create ~initial_capacity:4096 () in
+  let ops = 2048 in
+  let churn () =
+    for i = 0 to ops - 1 do
+      Event_heap.push h ~priority:(float_of_int ((i * 7919) land 1023)) i
+    done;
+    for _ = 1 to ops do
+      ignore (Event_heap.pop h)
+    done
+  in
+  churn ();
+  let words = minor_words_of churn in
+  checkb "at most one float box per push" true (words <= float_of_int (2 * ops))
+
 let test_engine_order () =
   let engine = Engine.create () in
   let log = ref [] in
@@ -161,6 +285,19 @@ let suites =
         Alcotest.test_case "clear" `Quick test_queue_clear;
         Alcotest.test_case "snapshot" `Quick test_queue_snapshot;
         QCheck_alcotest.to_alcotest qcheck_queue_sorted;
+      ] );
+    ( "event heap",
+      [
+        Alcotest.test_case "matches queue oracle" `Quick test_heap_matches_queue_oracle;
+        QCheck_alcotest.to_alcotest qcheck_heap_sorted;
+        Alcotest.test_case "FIFO ties" `Quick test_heap_fifo_ties;
+        Alcotest.test_case "growth" `Quick test_heap_growth;
+        Alcotest.test_case "NaN rejected" `Quick test_heap_nan;
+        Alcotest.test_case "pop on empty" `Quick test_heap_empty_pop;
+        Alcotest.test_case "clear" `Quick test_heap_clear;
+        Alcotest.test_case "zero allocation" `Quick test_heap_zero_alloc;
+        Alcotest.test_case "cross-module allocation bound" `Quick
+          test_heap_cross_module_alloc_bound;
       ] );
     ( "engine",
       [

@@ -380,6 +380,183 @@ let qcheck_faulted_runs_terminate =
       && List.for_all (fun i -> o.Scheduler.winner.(i) = -1) o.Scheduler.unfinished
       && o.Scheduler.wasted_work >= 0.)
 
+(* --- byte-identity of the rewritten scheduler vs the frozen oracle --- *)
+
+module Oracle = Scheduler_oracle
+
+let oracle_config (c : Scheduler.config) : Oracle.config =
+  {
+    Oracle.policy =
+      (match c.Scheduler.policy with
+      | Scheduler.Fifo -> Oracle.Fifo
+      | Scheduler.Affinity -> Oracle.Affinity);
+    speculation =
+      (match c.Scheduler.speculation with
+      | Scheduler.Off -> Oracle.Off
+      | Scheduler.At_idle -> Oracle.At_idle
+      | Scheduler.Late { threshold } -> Oracle.Late { threshold });
+    retry = c.Scheduler.retry;
+    fetch_timeout = c.Scheduler.fetch_timeout;
+  }
+
+(* Exact (=) on every outcome field, floats included: the rewrite must
+   reproduce the old scheduler bit for bit, not approximately. *)
+let assert_identical name (n : Scheduler.outcome) (o : Oracle.outcome) =
+  let chk field ok = checkb (name ^ ": " ^ field) true ok in
+  let flat_n =
+    List.map
+      (fun (a : Scheduler.assignment) ->
+        (a.Scheduler.task, a.worker, a.start, a.fetch_end, a.finish, a.fetched))
+      n.Scheduler.assignments
+  in
+  let flat_o =
+    List.map
+      (fun (a : Oracle.assignment) ->
+        (a.Oracle.task, a.worker, a.start, a.fetch_end, a.finish, a.fetched))
+      o.Oracle.assignments
+  in
+  chk "assignments" (flat_n = flat_o);
+  chk "completion" (n.Scheduler.completion = o.Oracle.completion);
+  chk "winner" (n.Scheduler.winner = o.Oracle.winner);
+  chk "makespan" (n.Scheduler.makespan = o.Oracle.makespan);
+  chk "busy_until" (n.Scheduler.busy_until = o.Oracle.busy_until);
+  chk "communication" (n.Scheduler.communication = o.Oracle.communication);
+  chk "per_worker_comm" (n.Scheduler.per_worker_comm = o.Oracle.per_worker_comm);
+  chk "per_worker_tasks" (n.Scheduler.per_worker_tasks = o.Oracle.per_worker_tasks);
+  chk "duplicates" (n.Scheduler.duplicates = o.Oracle.duplicates);
+  chk "retries" (n.Scheduler.retries = o.Oracle.retries);
+  chk "crashes_survived" (n.Scheduler.crashes_survived = o.Oracle.crashes_survived);
+  chk "attempts" (n.Scheduler.attempts = o.Oracle.attempts);
+  chk "idle_workers" (n.Scheduler.idle_workers = o.Oracle.idle_workers);
+  chk "unfinished" (n.Scheduler.unfinished = o.Oracle.unfinished);
+  chk "wasted_work" (n.Scheduler.wasted_work = o.Oracle.wasted_work);
+  chk "fault_log" (n.Scheduler.fault_log = o.Oracle.fault_log);
+  chk "events were counted" (n.Scheduler.events_processed > 0)
+
+(* Each scenario rebuilds its plan and jitter RNG from scratch per side,
+   so both implementations consume identical randomness. *)
+let identity_scenarios :
+    (string
+    * (unit ->
+      Scheduler.config
+      * (Rng.t * float) option
+      * Plan.t
+      * Star.t
+      * Task.t array
+      * (int -> float)))
+    list =
+  let affinity_tasks n =
+    Array.init n (fun i ->
+        Task.make ~id:i ~data_ids:[| i mod 8; (i + 1) mod 8 |] ~cost:2.)
+  in
+  let generated ~seed ~config () =
+    let rng = Rng.create ~seed () in
+    let star = Star.of_speeds [ 1.; 2.; 1.; 0.5 ] in
+    let plan =
+      Plan.generate ~rng ~p:4 ~horizon:30. ~crash_rate:0.6 ~slowdown_rate:0.5
+        ~fetch_failure:0.2 ()
+    in
+    (config, Some (Rng.split rng, 0.6), plan, star, simple_tasks ~cost:4. 24, unit_block)
+  in
+  let late = { Scheduler.default_config with speculation = Scheduler.Late { threshold = 0.5 } } in
+  let at_idle_affinity =
+    { Scheduler.default_config with policy = Scheduler.Affinity; speculation = Scheduler.At_idle }
+  in
+  [
+    ( "plain fifo",
+      fun () ->
+        ( Scheduler.default_config,
+          None,
+          Plan.none,
+          Star.of_speeds [ 1.; 2.; 1. ],
+          simple_tasks 16,
+          unit_block ) );
+    ( "plain affinity shared blocks",
+      fun () ->
+        ( { Scheduler.default_config with policy = Scheduler.Affinity },
+          None,
+          Plan.none,
+          Star.of_speeds [ 1.; 2. ],
+          affinity_tasks 16,
+          unit_block ) );
+    ( "crash before first assignment",
+      fun () ->
+        ( Scheduler.default_config,
+          None,
+          Plan.make ~crashes:[ { Plan.worker = 0; at = 0.; recovery = None } ] ~p:2 (),
+          Star.of_speeds [ 1.; 1. ],
+          simple_tasks 6,
+          unit_block ) );
+    ( "crash with recovery",
+      fun () ->
+        ( Scheduler.default_config,
+          None,
+          Plan.make ~crashes:[ { Plan.worker = 0; at = 5.; recovery = Some 8. } ] ~p:1 (),
+          Star.of_speeds ~bandwidth:1e9 [ 1. ],
+          simple_tasks ~cost:10. 1,
+          fun _ -> 0. ) );
+    ( "permanent crash",
+      fun () ->
+        ( Scheduler.default_config,
+          None,
+          Plan.make ~crashes:[ { Plan.worker = 0; at = 2.5; recovery = None } ] ~p:1 (),
+          Star.of_speeds ~bandwidth:1e9 [ 1. ],
+          simple_tasks 5,
+          fun _ -> 0. ) );
+    ( "total fetch failure",
+      fun () ->
+        ( Scheduler.default_config,
+          None,
+          Plan.make ~fetch_failure:[ (0, 1.) ] ~p:1 (),
+          Star.of_speeds [ 1. ],
+          simple_tasks 2,
+          unit_block ) );
+    ( "flaky links",
+      fun () ->
+        ( Scheduler.default_config,
+          None,
+          Plan.make ~fetch_failure:[ (0, 0.5); (1, 0.5) ] ~seed:11 ~p:2 (),
+          Star.of_speeds [ 1.; 1. ],
+          simple_tasks 16,
+          unit_block ) );
+    ( "crash plus flaky fetch",
+      fun () ->
+        ( Scheduler.default_config,
+          None,
+          Plan.make
+            ~crashes:[ { Plan.worker = 0; at = 3.; recovery = Some 6. } ]
+            ~fetch_failure:[ (1, 0.4) ] ~seed:3 ~p:2 (),
+          Star.of_speeds [ 1.; 1. ],
+          simple_tasks ~cost:2. 12,
+          unit_block ) );
+    ( "slowdown window",
+      fun () ->
+        ( Scheduler.default_config,
+          None,
+          Plan.make
+            ~slowdowns:[ { Plan.worker = 0; from_time = 0.; until = 100.; factor = 3. } ]
+            ~p:1 (),
+          Star.of_speeds ~bandwidth:1e9 [ 1. ],
+          simple_tasks ~cost:4. 3,
+          fun _ -> 0. ) );
+    ("generated + LATE, seed 99", generated ~seed:99 ~config:late);
+    ("generated + LATE, seed 7", generated ~seed:7 ~config:late);
+    ("generated + at-idle affinity, seed 5", generated ~seed:5 ~config:at_idle_affinity);
+  ]
+
+let test_scheduler_byte_identity () =
+  List.iter
+    (fun (name, mk) ->
+      let config, jitter_n, faults, star, tasks, block_size = mk () in
+      let o_new = Scheduler.run ~config ?jitter:jitter_n ~faults star ~tasks ~block_size in
+      let config_o, jitter_o, faults_o, star_o, tasks_o, block_size_o = mk () in
+      let o_old =
+        Oracle.run ~config:(oracle_config config_o) ?jitter:jitter_o ~faults:faults_o
+          star_o ~tasks:tasks_o ~block_size:block_size_o
+      in
+      assert_identical name o_new o_old)
+    identity_scenarios
+
 let suites =
   [
     ( "fault plans",
@@ -410,6 +587,8 @@ let suites =
         Alcotest.test_case "slowdown stretches makespan" `Quick
           test_slowdown_stretches_makespan;
         QCheck_alcotest.to_alcotest qcheck_faulted_runs_terminate;
+        Alcotest.test_case "byte-identity vs pre-rewrite oracle" `Quick
+          test_scheduler_byte_identity;
       ] );
     ( "pool submit",
       [
