@@ -28,11 +28,140 @@ let lint_entry =
        invariants."
     Term.(const run $ Lint.Cmd.embedded_term)
 
+(* nldl profile EXPERIMENT [--out FILE] [--trace-events N] [-- ARG...]:
+   look the experiment up in the catalog, re-evaluate its own argument
+   term on the passthrough args (everything after --), run the thunk
+   with the full observability stack force-enabled from a clean slate,
+   and write a self-contained report: metrics snapshot (counters,
+   gauges, histograms with quantiles), log2-histogram summaries, and a
+   bounded trace with explicit dropped/sampled accounting. *)
+let profile_entry =
+  let exp_name =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"EXPERIMENT" ~doc:"Catalog experiment to profile.")
+  in
+  let passthrough =
+    Arg.(
+      value & pos_right 0 string []
+      & info [] ~docv:"ARG"
+          ~doc:"Arguments for the experiment itself; separate with --.")
+  in
+  let out =
+    Arg.(
+      value & opt string "profile.json"
+      & info [ "out" ] ~docv:"FILE" ~doc:"Where to write the profile report.")
+  in
+  let trace_events =
+    Arg.(
+      value & opt int 10_000
+      & info [ "trace-events" ] ~docv:"N"
+          ~doc:
+            "Event budget for the embedded trace (deterministic 1-in-k sampling \
+             above it).")
+  in
+  let catalog_names () =
+    String.concat ", "
+      (List.map (fun (e : Experiments.Registry.entry) -> e.name) Experiments.Catalog.all)
+  in
+  let hist_summary_output () =
+    let header = [ "hist"; "count"; "mean"; "p50"; "p90"; "p99"; "max" ] in
+    let rows =
+      List.filter_map
+        (fun (s : Obs.Hist.summary) ->
+          if s.Obs.Hist.count = 0 then None
+          else
+            Some
+              [
+                s.Obs.Hist.s_name;
+                string_of_int s.Obs.Hist.count;
+                Printf.sprintf "%.4g" (Obs.Hist.mean s);
+                string_of_int (Obs.Hist.quantile s 0.5);
+                string_of_int (Obs.Hist.quantile s 0.9);
+                string_of_int (Obs.Hist.quantile s 0.99);
+                string_of_int s.Obs.Hist.max_v;
+              ])
+        (Obs.Hist.snapshot ())
+    in
+    let json =
+      Obs.Json.List
+        (List.map
+           (fun row ->
+             Obs.Json.Obj
+               (List.map2
+                  (fun k v ->
+                    (k, try Obs.Json.Int (int_of_string v) with _ -> Obs.Json.String v))
+                  header row))
+           rows)
+    in
+    Experiments.Registry.output ~header ~rows ~json
+  in
+  let run name args out trace_events () =
+    match
+      List.find_opt
+        (fun (e : Experiments.Registry.entry) -> e.name = name)
+        Experiments.Catalog.all
+    with
+    | None ->
+        Printf.eprintf "nldl profile: unknown experiment %S (catalog: %s)\n%!" name
+          (catalog_names ());
+        (None, 2)
+    | Some e -> (
+        let inner = Cmd.v (Cmd.info name) e.term in
+        match Cmd.eval_value ~argv:(Array.of_list (name :: args)) inner with
+        | Error _ ->
+            Printf.eprintf "nldl profile: bad arguments for %s: %s\n%!" name
+              (String.concat " " args);
+            (None, 2)
+        | Ok (`Help | `Version) -> (None, 0)
+        | Ok (`Ok thunk) ->
+            let prev_m = Obs.Metrics.enabled () in
+            let prev_h = Obs.Hist.enabled () in
+            let prev_t = Obs.Trace.enabled () in
+            Obs.Metrics.reset ();
+            Obs.Hist.reset ();
+            Obs.Trace.clear ();
+            Obs.Metrics.set_enabled true;
+            Obs.Hist.set_enabled true;
+            Obs.Trace.set_enabled true;
+            let t0 = Obs.Clock.now_ns () in
+            let table, status = thunk () in
+            let elapsed = Obs.Clock.ns_to_s (Obs.Clock.now_ns () - t0) in
+            Obs.Metrics.set_enabled prev_m;
+            Obs.Hist.set_enabled prev_h;
+            Obs.Trace.set_enabled prev_t;
+            let report =
+              Obs.Json.Obj
+                [
+                  ("experiment", Obs.Json.String name);
+                  ("argv", Obs.Json.List (List.map (fun a -> Obs.Json.String a) args));
+                  ("elapsed_s", Obs.Json.Float elapsed);
+                  ("metrics", Obs.Export.metrics_json ());
+                  ("trace", Obs.Export.trace_json ~max_events:trace_events ());
+                ]
+            in
+            Obs.Json.write_file out report;
+            Printf.eprintf "Profile written to %s\n%!" out;
+            let summary = hist_summary_output () in
+            List.iter
+              (fun row -> print_endline (String.concat "  " row))
+              (summary.Experiments.Registry.header :: summary.Experiments.Registry.rows);
+            ignore (table : Experiments.Registry.output option);
+            (Some summary, status))
+  in
+  Experiments.Registry.gated ~name:"profile"
+    ~synopsis:
+      "Run a catalog experiment fully instrumented and emit a self-contained \
+       profile report (metrics + quantiles + bounded trace)."
+    Term.(const run $ exp_name $ passthrough $ out $ trace_events)
+
 let command =
   let doc = "Non-Linear Divisible Loads: There is No Free Lunch — reproduction toolkit" in
   Cmd.group
     (Cmd.info "nldl" ~version:Core.version ~doc)
-    (List.map Experiments.Registry.to_cmd (Experiments.Catalog.all @ [ lint_entry ]))
+    (List.map Experiments.Registry.to_cmd
+       (Experiments.Catalog.all @ [ lint_entry; profile_entry ]))
 
 let run () = Cmd.eval command
 

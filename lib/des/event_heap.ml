@@ -43,14 +43,22 @@ type t = {
   mutable meta : int array;  (* slot k -> seq at 2k, payload at 2k+1 *)
   mutable size : int;
   mutable next_seq : int;
+  mutable hwm : int;  (* max [size] ever reached; one predicted branch per push *)
 }
 
 let create ?(initial_capacity = 16) () =
   let cap = max 1 initial_capacity in
-  { prio = Array.make cap 0.; meta = Array.make (2 * cap) 0; size = 0; next_seq = 0 }
+  {
+    prio = Array.make cap 0.;
+    meta = Array.make (2 * cap) 0;
+    size = 0;
+    next_seq = 0;
+    hwm = 0;
+  }
 
 let size t = t.size
 let capacity t = Array.length t.prio
+let high_water t = t.hwm
 
 let[@inline always] is_empty t = t.size = 0
 
@@ -60,7 +68,8 @@ let[@inline always] min_priority t = Array.unsafe_get t.prio 0
 
 let clear t =
   t.size <- 0;
-  t.next_seq <- 0
+  t.next_seq <- 0;
+  t.hwm <- 0
 
 (* (prio, seq) lexicographic order, split into two comparisons so the
    common unequal-priority case never touches the seq words. *)
@@ -154,6 +163,7 @@ let[@inline always] push t ~priority payload =
   Array.unsafe_set t.meta (2 * i) t.next_seq;
   Array.unsafe_set t.meta ((2 * i) + 1) payload;
   t.size <- i + 1;
+  if i + 1 > t.hwm then t.hwm <- i + 1;
   t.next_seq <- t.next_seq + 1;
   sift_up t i
 

@@ -28,6 +28,11 @@ val size : t -> int
 val capacity : t -> int
 (** Current buffer length (for the growth tests). *)
 
+val high_water : t -> int
+(** Maximum {!size} ever reached since creation or {!clear} — tracked
+    unconditionally (one predicted branch per push) so instrumented
+    consumers can report peak queue depth without sampling. *)
+
 val is_empty : t -> bool
 
 val min_priority : t -> float

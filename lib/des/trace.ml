@@ -63,24 +63,51 @@ let render_gantt ?(width = 72) t =
 (* Render through the same Chrome trace-event builders as the runtime
    tracer, one Perfetto thread row per resource.  Simulated time is
    unitless; one simulated time unit maps to one second (1e6 µs) so
-   short schedules stay readable in the viewer. *)
-let to_chrome t =
+   short schedules stay readable in the viewer.
+
+   [max_events] bounds the export: when the trace holds more intervals,
+   a deterministic 1-in-k systematic sample is emitted instead (the
+   stream order — resources in first-recorded order, intervals in
+   recording order — is a pure function of the simulation, so the
+   sampled artifact is byte-identical across runs).  Every export
+   carries a "trace_stats" metadata event with explicit recorded /
+   sampled_out / emitted counts, so truncation is never silent. *)
+let to_chrome ?max_events t =
   let tids = List.mapi (fun i r -> (r, i + 1)) (resources t) in
+  let n_intervals =
+    List.fold_left (fun acc (r, _) -> acc + List.length (intervals t ~resource:r)) 0 tids
+  in
+  let k =
+    match max_events with
+    | Some budget when n_intervals > budget -> (n_intervals + budget - 1) / max 1 budget
+    | _ -> 1
+  in
+  let take = Obs.Sample.every k in
+  let body =
+    List.concat_map
+      (fun (r, tid) ->
+        List.filter_map
+          (fun iv ->
+            if Obs.Sample.keep take then
+              let name = if iv.label = "" then r else iv.label in
+              Some
+                (Obs.Export.complete ~name ~tid ~ts_us:(iv.start *. 1e6)
+                   ~dur_us:((iv.finish -. iv.start) *. 1e6))
+            else None)
+          (intervals t ~resource:r))
+      tids
+  in
+  let stats =
+    Obs.Export.sampling_stats ~recorded:n_intervals ~dropped:0
+      ~sampled_out:(n_intervals - Obs.Sample.kept take)
+      ~emitted:(List.length body)
+      [ ("sample_every", Obs.Json.Int k) ]
+  in
   let metadata =
     Obs.Export.process_name "nldl.sim"
     :: List.map (fun (r, tid) -> Obs.Export.thread_name ~tid r) tids
   in
-  let body =
-    List.concat_map
-      (fun (r, tid) ->
-        List.map
-          (fun iv ->
-            let name = if iv.label = "" then r else iv.label in
-            Obs.Export.complete ~name ~tid ~ts_us:(iv.start *. 1e6)
-              ~dur_us:((iv.finish -. iv.start) *. 1e6))
-          (intervals t ~resource:r))
-      tids
-  in
-  Obs.Json.List (metadata @ body)
+  Obs.Json.List ((stats :: metadata) @ body)
 
-let write_chrome t path = Obs.Json.write_file path (to_chrome t)
+let write_chrome ?max_events t path =
+  Obs.Json.write_file path (to_chrome ?max_events t)

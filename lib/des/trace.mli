@@ -26,10 +26,16 @@ val utilization : t -> resource:string -> float
 val render_gantt : ?width:int -> t -> string
 (** A fixed-width text Gantt chart, one row per resource. *)
 
-val to_chrome : t -> Obs.Json.t
+val to_chrome : ?max_events:int -> t -> Obs.Json.t
 (** Chrome trace-event array for Perfetto / about://tracing: one thread
     row per resource, one complete ("X") event per interval.  One
-    simulated time unit renders as one second. *)
+    simulated time unit renders as one second.
 
-val write_chrome : t -> string -> unit
+    When [max_events] is given and the trace holds more intervals, a
+    deterministic 1-in-k systematic sample is emitted instead
+    (byte-identical across runs for identical traces).  Every export
+    starts with a "trace_stats" metadata event carrying explicit
+    recorded / sampled_out / emitted counts. *)
+
+val write_chrome : ?max_events:int -> t -> string -> unit
 (** [write_chrome t path] writes {!to_chrome} to [path]. *)

@@ -196,5 +196,70 @@ let faults =
       $ Registry.trials ~default:5 ()
       $ Registry.seed $ Registry.domains)
 
+let mrsim =
+  let workers =
+    Arg.(value & opt int 100_000 & info [ "workers" ] ~docv:"P" ~doc:"Worker count.")
+  in
+  let tasks =
+    Arg.(value & opt int 1_000_000 & info [ "tasks" ] ~docv:"N" ~doc:"Map tasks.")
+  in
+  let crash_rate =
+    Arg.(
+      value & opt float 0.001
+      & info [ "crash-rate" ] ~docv:"R" ~doc:"Per-worker crash probability.")
+  in
+  let slowdown_rate =
+    Arg.(
+      value & opt float 0.01
+      & info [ "slowdown-rate" ] ~docv:"R" ~doc:"Per-worker slowdown probability.")
+  in
+  let fetch_failure =
+    Arg.(
+      value & opt float 0.01
+      & info [ "fetch-failure" ] ~docv:"Q" ~doc:"Per-link fetch-failure probability.")
+  in
+  let horizon =
+    Arg.(
+      value & opt float 20.
+      & info [ "horizon" ] ~docv:"T" ~doc:"Fault-plan horizon (simulated time).")
+  in
+  let timeline =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "timeline" ] ~docv:"FILE"
+          ~doc:
+            "Write the simulated schedule as a (downsampled) Chrome trace-event \
+             Gantt to $(docv).")
+  in
+  let timeline_events =
+    Arg.(
+      value & opt int 20_000
+      & info [ "timeline-events" ] ~docv:"N"
+          ~doc:"Interval budget for --timeline (deterministic 1-in-k downsampling).")
+  in
+  let run workers tasks crash_rate slowdown_rate fetch_failure horizon timeline
+      timeline_events seed () =
+    let r, outcome =
+      Mrsim_exp.run ~workers ~tasks ~crash_rate ~slowdown_rate ~fetch_failure ~horizon
+        ~seed ()
+    in
+    Mrsim_exp.print r;
+    (match timeline with
+    | None -> ()
+    | Some path ->
+        Mapreduce.Timeline.write_chrome ~max_events:timeline_events outcome path;
+        Printf.eprintf "Timeline written to %s\n%!" path);
+    Some (table_output Mrsim_exp.header [ Mrsim_exp.row r ])
+  in
+  Registry.entry ~name:"mrsim"
+    ~synopsis:
+      "Million-scale fault-injected MapReduce simulation (single instrumented run)."
+    Term.(
+      const run $ workers $ tasks $ crash_rate $ slowdown_rate $ fetch_failure
+      $ horizon $ timeline $ timeline_events $ Registry.seed)
+
 let all =
-  [ fig4; nonlinear; sort; ratio; partition; mapreduce; time; ablations; faults ]
+  [
+    fig4; nonlinear; sort; ratio; partition; mapreduce; time; ablations; faults; mrsim;
+  ]

@@ -86,7 +86,10 @@ let metrics_file =
 
 let setup_obs trace metrics =
   if trace <> None then Obs.Trace.set_enabled true;
-  if metrics <> None then Obs.Metrics.set_enabled true;
+  if metrics <> None then begin
+    Obs.Metrics.set_enabled true;
+    Obs.Hist.set_enabled true
+  end;
   (trace, metrics)
 
 let obs_term = Term.(const setup_obs $ trace_file $ metrics_file)

@@ -16,6 +16,10 @@ let scope_of ~file ~(marks : Attrs.file_marks) ~emit : Rules.scope =
     in_kernels = starts_with ~prefix:"lib/kernels/" file;
     in_hot =
       starts_with ~prefix:"lib/kernels/" file || starts_with ~prefix:"lib/linalg/" file;
+    in_instrumented =
+      starts_with ~prefix:"lib/des/" file
+      || starts_with ~prefix:"lib/mapreduce/" file
+      || starts_with ~prefix:"lib/exec/" file;
     unsafe_zone = marks.unsafe_zone <> None;
     domain_safe = marks.domain_safe <> None;
     file_allows = marks.file_allows;

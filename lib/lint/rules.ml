@@ -6,6 +6,9 @@ type scope = {
   in_lib : bool;
   in_kernels : bool;
   in_hot : bool;  (* lib/kernels/ or lib/linalg/: the flat-buffer hot libraries *)
+  in_instrumented : bool;
+      (* lib/des/, lib/mapreduce/, lib/exec/: hot paths that report
+         through Obs and must not grow private timing/histogram code *)
   unsafe_zone : bool;
   domain_safe : bool;
   file_allows : string list;
@@ -369,7 +372,85 @@ let h306 =
             | _ -> ());
   }
 
-let all = [ d001; d002; u101; s201; h301; h302; h303; h305; h306 ]
+(* H307 guards the Obs funnel: the instrumented hot paths (lib/des,
+   lib/mapreduce, lib/exec) report timing and distributions through
+   Obs.Hist/Obs.Metrics, so they must not grow private clock externals
+   (which would bypass both Obs.Clock and D002's name list) or ad-hoc
+   histogram arrays.  lib/sortlib is deliberately out of scope: its
+   histogram_sort uses counting arrays as the algorithm, not as
+   instrumentation. *)
+let file_starts_with prefix scope =
+  String.length scope.file >= String.length prefix
+  && String.sub scope.file 0 (String.length prefix) = prefix
+
+let clockish_prim prim =
+  name_contains prim "clock"
+  || name_contains prim "gettimeofday"
+  || name_contains prim "time"
+
+let array_ctor e =
+  match (peel e).pexp_desc with
+  | Pexp_apply (f, _) -> (
+      match ident_path f with
+      | [ "Array"; "make" ] | [ "Array"; "init" ] | [ "Array"; "create_float" ] ->
+          Some (String.concat "." (ident_path f))
+      | _ -> None)
+  | _ -> None
+
+let h307 =
+  {
+    id = "H307";
+    group = "H";
+    synopsis =
+      "no private clock externals in lib/ outside lib/obs, and no ad-hoc \
+       histogram arrays in instrumented hot paths (lib/des, lib/mapreduce, \
+       lib/exec); record through Obs.Clock and Obs.Hist";
+    extend =
+      (fun scope it ->
+        let it =
+          {
+            it with
+            value_description =
+              (fun self vd ->
+                (if
+                   vd.pval_prim <> []
+                   && scope.in_lib
+                   && (not (file_starts_with "lib/obs/" scope))
+                   && List.exists clockish_prim vd.pval_prim
+                 then
+                   report scope ~id:"H307" ~loc:vd.pval_loc
+                     (Printf.sprintf
+                        "external %s binds a clock primitive (%s) outside lib/obs; \
+                         time through Obs.Clock so reads stay monotonic, mockable \
+                         and visible to the D002 gate"
+                        vd.pval_name.txt
+                        (String.concat ", " vd.pval_prim)));
+                it.value_description self vd);
+          }
+        in
+        {
+          it with
+          value_binding =
+            (fun self vb ->
+              (if scope.in_instrumented then
+                 let name = binding_name vb in
+                 if name_contains name "hist" then
+                   match array_ctor vb.pvb_expr with
+                   | Some ctor ->
+                       report scope ~id:"H307" ~loc:vb.pvb_loc
+                         (Printf.sprintf
+                            "binding %s builds an ad-hoc histogram array (%s) in an \
+                             instrumented hot path; record into a registered \
+                             Obs.Hist (sharded, zero-alloc, exported with \
+                             quantiles), or [@nldl.allow \"H307\"] a non-telemetry \
+                             array"
+                            name ctor)
+                   | None -> ());
+              it.value_binding self vb);
+        });
+  }
+
+let all = [ d001; d002; u101; s201; h301; h302; h303; h305; h306; h307 ]
 
 let catalog =
   List.map (fun r -> (r.id, r.synopsis)) all

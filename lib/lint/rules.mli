@@ -28,6 +28,10 @@ type scope = {
   in_lib : bool;
   in_kernels : bool;
   in_hot : bool;  (** [lib/kernels/] or [lib/linalg/] (H305's scope) *)
+  in_instrumented : bool;
+      (** [lib/des/], [lib/mapreduce/] or [lib/exec/] (H307's
+          histogram-array scope; [lib/sortlib] is deliberately out —
+          its counting arrays are the algorithm, not telemetry) *)
   unsafe_zone : bool;  (** file carries [[\@\@\@nldl.unsafe_zone]] *)
   domain_safe : bool;  (** file carries [[\@\@\@nldl.domain_safe]] *)
   file_allows : string list;

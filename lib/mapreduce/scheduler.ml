@@ -158,6 +158,29 @@ end
 let m_assignments = Obs.Metrics.counter "mapreduce.assignments"
 let m_speculative = Obs.Metrics.counter "mapreduce.speculative_copies"
 
+(* Per-event-type counters, flushed once per [run] from a flat local
+   tally (a DLS-backed [Metrics.add] per event would be measurable at
+   10^6-event scale; one add per tag per run is not). *)
+let m_ev_free = Obs.Metrics.counter "mapreduce.events.free"
+let m_ev_done = Obs.Metrics.counter "mapreduce.events.done"
+let m_ev_crash = Obs.Metrics.counter "mapreduce.events.crash"
+let m_ev_recover = Obs.Metrics.counter "mapreduce.events.recover"
+let m_ev_retry = Obs.Metrics.counter "mapreduce.events.retry"
+let g_heap_hwm = Obs.Metrics.gauge "mapreduce.heap_hwm"
+
+(* Simulated-time distributions (recorded as integer nanoseconds of sim
+   time: 1 sim unit = 1 s) and the sampled heap depth.  All recording
+   is gated on one [obs_on] boolean hoisted to the top of [run], with
+   shards cached outside the loop, so the disabled event loop is
+   byte-for-byte the uninstrumented one. *)
+let h_heap = Obs.Hist.create "mapreduce.heap_size"
+let h_wait = Obs.Hist.create "mapreduce.task_wait_s"
+let h_service = Obs.Hist.create "mapreduce.task_service_s"
+let h_fetch = Obs.Hist.create "mapreduce.fetch_s"
+let h_retry_delay = Obs.Hist.create "mapreduce.retry_delay_s"
+
+let heap_sample_mask = 63
+
 (* Events live in the [Des.Event_heap] as ints: tag in the low 3 bits,
    worker / task / crash-plan index above.  Same five cases as the old
    boxed [ev] variant, minus the allocation per event. *)
@@ -251,6 +274,19 @@ let run ?(config = default_config) ?jitter ?(faults = Fault.Plan.none) star ~tas
      exactly the entries the observation loop wrote. *)
   let rate_arr = Array.make p 0. in
   let est_arr = Array.make p 0. in
+  (* Observability: one boolean read per run gates every record; the
+     histogram shards are hoisted here so each enabled record is a few
+     domain-local stores.  [avail] (when-did-the-task-become-runnable,
+     for wait-time distributions) only exists when observing. *)
+  let obs_on = Obs.Hist.enabled () || Obs.Metrics.enabled () in
+  let evt_counts = Array.make 8 0 in
+  let sh_heap = Obs.Hist.shard h_heap in
+  let sh_wait = Obs.Hist.shard h_wait in
+  let sh_service = Obs.Hist.shard h_service in
+  let sh_fetch = Obs.Hist.shard h_fetch in
+  let sh_retry_delay = Obs.Hist.shard h_retry_delay in
+  let avail = if obs_on then Array.make n_tasks 0. else [||] in
+  let[@inline] rec_s sh x = Obs.Hist.record_into sh (int_of_float (x *. 1e9)) in
   let queue = Des.Event_heap.create ~initial_capacity:(max 16 p) () in
   (* Plan events first: a crash at the same instant as an assignment
      opportunity wins the FIFO tie, so "crash before first assignment"
@@ -284,12 +320,14 @@ let run ?(config = default_config) ?jitter ?(faults = Fault.Plan.none) star ~tas
       retry_pending.(i) <- true;
       incr retries;
       let delay = Fault.Retry.delay retry ~attempt:(min attempts.(i) 30) in
+      if obs_on then rec_s sh_retry_delay delay;
       Fault.Clock.record clock
         (Task_retry { task = i; attempt = attempts.(i); time = now +. delay });
       Des.Event_heap.push queue ~priority:(now +. delay) (encode tag_retry i)
     end
   in
   let execute_copy w now i =
+    if obs_on then rec_s sh_wait (now -. avail.(i));
     attempts.(i) <- attempts.(i) + 1;
     live_copies.(i) <- live_copies.(i) + 1;
     wstate.(w) <- w_busy;
@@ -371,6 +409,7 @@ let run ?(config = default_config) ?jitter ?(faults = Fault.Plan.none) star ~tas
       let t_f = ft.(0) in
       if t_f >= t_kill then doom ()
       else begin
+        if obs_on then rec_s sh_fetch (t_f -. now);
         let cache = caches.(w) in
         let ids = tasks.(i).Task.data_ids in
         for k = 0 to Array.length ids - 1 do
@@ -537,6 +576,7 @@ let run ?(config = default_config) ?jitter ?(faults = Fault.Plan.none) star ~tas
       let w = arg in
       let i = run_task.(w) in
       if i >= 0 && run_finish.(w) = now then begin
+        if obs_on then rec_s sh_service (now -. run_start.(w));
         run_task.(w) <- -1;
         wstate.(w) <- w_idle;
         live_copies.(i) <- live_copies.(i) - 1;
@@ -612,6 +652,7 @@ let run ?(config = default_config) ?jitter ?(faults = Fault.Plan.none) star ~tas
       let i = arg in
       retry_pending.(i) <- false;
       if completion.(i) = infinity && live_copies.(i) = 0 then begin
+        if obs_on then avail.(i) <- now;
         Pending.add pending i;
         let w = ref 0 in
         while !w < p && not (Pending.is_empty pending) do
@@ -626,9 +667,24 @@ let run ?(config = default_config) ?jitter ?(faults = Fault.Plan.none) star ~tas
     let now = Des.Event_heap.min_priority queue in
     let e = Des.Event_heap.pop queue in
     incr events_processed;
+    if obs_on then begin
+      let tag = e land 7 in
+      evt_counts.(tag) <- evt_counts.(tag) + 1;
+      if !events_processed land heap_sample_mask = 0 then
+        Obs.Hist.record_into sh_heap (Des.Event_heap.size queue)
+    end;
     handle now e
   done;
   Obs.Trace.end_span "mapreduce.schedule";
+  if obs_on then begin
+    Obs.Metrics.add m_ev_free evt_counts.(tag_free);
+    Obs.Metrics.add m_ev_done evt_counts.(tag_done);
+    Obs.Metrics.add m_ev_crash evt_counts.(tag_crash);
+    Obs.Metrics.add m_ev_recover evt_counts.(tag_recover);
+    Obs.Metrics.add m_ev_retry evt_counts.(tag_retry);
+    Obs.Metrics.set_gauge g_heap_hwm
+      (float_of_int (Des.Event_heap.high_water queue))
+  end;
   let makespan =
     Array.fold_left
       (fun acc c -> if Float.is_finite c then Float.max acc c else acc)

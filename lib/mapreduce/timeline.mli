@@ -7,5 +7,15 @@ val trace : Scheduler.outcome -> Des.Trace.t
 
 val gantt : ?width:int -> Scheduler.outcome -> string
 
+val chrome : ?max_events:int -> Scheduler.outcome -> Obs.Json.t
+(** The schedule as a Chrome trace-event array (via
+    {!Des.Trace.to_chrome}): one thread row per worker, one "X" event
+    per fetch/compute interval.  [max_events] bounds the export with
+    the bridge's deterministic 1-in-k sampler; the leading
+    "trace_stats" metadata event reports recorded / sampled_out /
+    emitted counts either way. *)
+
+val write_chrome : ?max_events:int -> Scheduler.outcome -> string -> unit
+
 val utilizations : Platform.Star.t -> Scheduler.outcome -> float array
 (** Busy time / makespan per worker (0 when the makespan is 0). *)

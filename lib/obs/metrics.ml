@@ -223,3 +223,31 @@ let reset () =
   Mutex.unlock mutex
 
 let counter_value snap name = List.assoc_opt name snap.counters
+
+(* Rank-based quantile with linear interpolation inside the containing
+   bucket.  The first bucket interpolates from 0; the +inf overflow
+   bucket is clamped to the last finite bound (the snapshot holds no
+   information beyond it). *)
+let hist_quantile (h : hist_snapshot) q =
+  if h.total = 0 then Float.nan
+  else begin
+    let q = if q < 0. then 0. else if q > 1. then 1. else q in
+    let rank = q *. float_of_int h.total in
+    let m = Array.length h.bounds in
+    let i = ref 0 and cum = ref 0 in
+    while !i <= m && float_of_int (!cum + h.buckets.(min !i m)) < rank do
+      cum := !cum + h.buckets.(!i);
+      incr i
+    done;
+    if !i >= m then h.bounds.(m - 1)
+    else begin
+      let lo = if !i = 0 then 0. else h.bounds.(!i - 1) in
+      let hi = h.bounds.(!i) in
+      let in_bucket = h.buckets.(!i) in
+      if in_bucket = 0 then hi
+      else
+        let frac = (rank -. float_of_int !cum) /. float_of_int in_bucket in
+        let frac = if frac < 0. then 0. else if frac > 1. then 1. else frac in
+        lo +. (frac *. (hi -. lo))
+    end
+  end

@@ -61,3 +61,9 @@ val reset : unit -> unit
 (** Zero every shard and reset gauges to NaN.  Registrations remain. *)
 
 val counter_value : snapshot -> string -> int option
+
+val hist_quantile : hist_snapshot -> float -> float
+(** [hist_quantile h q] estimates the [q]-quantile by linear
+    interpolation inside the bucket containing rank [q * total];
+    samples in the +inf overflow bucket clamp to the last finite
+    bound.  NaN when the histogram is empty. *)

@@ -113,6 +113,18 @@ let dropped () =
   Mutex.unlock mutex;
   d
 
+let dropped_by_domain () =
+  Mutex.lock mutex;
+  let l = List.rev_map (fun b -> (b.dom, max 0 (b.len - capacity))) !bufs in
+  Mutex.unlock mutex;
+  List.sort compare l
+
+let recorded () =
+  Mutex.lock mutex;
+  let n = List.fold_left (fun acc b -> acc + b.len) 0 !bufs in
+  Mutex.unlock mutex;
+  n
+
 let clear () =
   Mutex.lock mutex;
   List.iter (fun b -> b.len <- 0) !bufs;

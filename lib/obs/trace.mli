@@ -39,5 +39,14 @@ val events : unit -> event list
 val dropped : unit -> int
 (** Events lost to ring-buffer wrap since the last {!clear}. *)
 
+val dropped_by_domain : unit -> (int * int) list
+(** Per-domain wrap losses as [(domain, dropped)] pairs, sorted by
+    domain id — every domain that ever recorded appears, 0 when its
+    ring has not wrapped. *)
+
+val recorded : unit -> int
+(** Total events ever recorded (kept + dropped) since the last
+    {!clear}, across all domains. *)
+
 val clear : unit -> unit
 (** Empty every ring buffer (buffers stay allocated). *)

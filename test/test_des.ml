@@ -5,6 +5,7 @@ module Engine = Des.Engine
 module Trace = Des.Trace
 
 let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
 
 let test_queue_order () =
   let q = Event_queue.create () in
@@ -165,6 +166,21 @@ let test_heap_clear () =
   Alcotest.(check (list int)) "fresh FIFO after clear" [ 10; 11 ]
     (List.map snd (drain_heap h))
 
+let test_heap_high_water () =
+  let h = Event_heap.create ~initial_capacity:4 () in
+  checki "starts at zero" 0 (Event_heap.high_water h);
+  for i = 0 to 9 do
+    Event_heap.push h ~priority:(float_of_int i) i
+  done;
+  for _ = 1 to 5 do
+    ignore (Event_heap.pop h)
+  done;
+  Event_heap.push h ~priority:99. 42;
+  checki "peak size, not current" 10 (Event_heap.high_water h);
+  checki "current size below peak" 6 (Event_heap.size h);
+  Event_heap.clear h;
+  checki "clear resets the mark" 0 (Event_heap.high_water h)
+
 let minor_words_of f =
   Gc.full_major ();
   let before = Gc.minor_words () in
@@ -295,6 +311,7 @@ let suites =
         Alcotest.test_case "NaN rejected" `Quick test_heap_nan;
         Alcotest.test_case "pop on empty" `Quick test_heap_empty_pop;
         Alcotest.test_case "clear" `Quick test_heap_clear;
+        Alcotest.test_case "high-water mark" `Quick test_heap_high_water;
         Alcotest.test_case "zero allocation" `Quick test_heap_zero_alloc;
         Alcotest.test_case "cross-module allocation bound" `Quick
           test_heap_cross_module_alloc_bound;

@@ -142,6 +142,35 @@ let h_rules =
     Alcotest.test_case "H306 silent in test/" `Quick
       (check_clean ~rule:"H306" ~file:"test/x.ml"
          "let q () = Des.Event_queue.create ()");
+    Alcotest.test_case "H307 clock external in lib/" `Quick
+      (check_fires "H307" ~file:"lib/des/x.ml"
+         "external now : unit -> (int64[@unboxed]) = \"x\" \
+          \"caml_my_clock_gettime\" [@@noalloc]");
+    Alcotest.test_case "H307 gettimeofday external too" `Quick
+      (check_fires "H307" ~file:"lib/numerics/x.ml"
+         "external tod : unit -> float = \"caml_my_gettimeofday\"");
+    Alcotest.test_case "H307 silent inside lib/obs" `Quick
+      (check_clean ~rule:"H307" ~file:"lib/obs/clock.ml"
+         "external now : unit -> (int64[@unboxed]) = \"x\" \
+          \"caml_my_clock_gettime\" [@@noalloc]");
+    Alcotest.test_case "H307 silent on non-clock external" `Quick
+      (check_clean ~rule:"H307" ~file:"lib/kernels/x.ml"
+         "external dim : t -> int = \"%caml_ba_dim_1\"");
+    Alcotest.test_case "H307 hist array in instrumented lib" `Quick
+      (check_fires "H307" ~file:"lib/mapreduce/x.ml"
+         "let latency_hist = Array.make 64 0");
+    Alcotest.test_case "H307 local hist array too" `Quick
+      (check_fires "H307" ~file:"lib/des/x.ml"
+         "let f () = let hist_buckets = Array.init 32 (fun _ -> 0) in hist_buckets");
+    Alcotest.test_case "H307 silent in sortlib (algorithmic counts)" `Quick
+      (check_clean ~rule:"H307" ~file:"lib/sortlib/x.ml"
+         "let hist = Array.make 256 0");
+    Alcotest.test_case "H307 silent on non-hist array" `Quick
+      (check_clean ~rule:"H307" ~file:"lib/mapreduce/x.ml"
+         "let run_start = Array.make 64 0.");
+    Alcotest.test_case "H307 binding allow suppresses" `Quick
+      (check_clean ~rule:"H307" ~file:"lib/des/x.ml"
+         "let hist_oracle = Array.make 8 0 [@@nldl.allow \"H307\"]");
     Alcotest.test_case "X001 unknown nldl attribute" `Quick
       (check_fires "X001" ~file:"lib/des/x.ml"
          "[@@@nldl.unsfe_zone \"typo\"]\nlet x = 1");
