@@ -46,6 +46,12 @@ let check_throughput_path = arg_value "--check-throughput"
    timings taken in this very process, so machine speed cancels out. *)
 let check_overhead = flag_present "--check-overhead"
 
+(* [--check-serve-throughput]: gate the serve_throughput section — warm
+   (memo-hit) queries must answer at >= 10x the cold (solve) rate.  A
+   ratio of two rates measured in this very process, so machine speed
+   cancels out. *)
+let check_serve = flag_present "--check-serve-throughput"
+
 let throughput_baseline =
   match check_throughput_path with
   | None -> None
@@ -673,6 +679,77 @@ let report_obs_overhead () =
       ],
     Float.min disabled_seconds enabled_seconds )
 
+(* --- serve throughput: the query-plane daemon's engine, in-process ---- *)
+
+(* Distinct nonlinear Ratio queries exercise the cold path (parse ->
+   fingerprint -> bisection solve -> insert); replaying the same lines
+   exercises the warm memo-hit path the daemon answers repeats from.
+   Driving Serve.Batch directly keeps socket I/O out of the measurement
+   — this is the cache's speedup, which is what the 10x gate pins. *)
+let report_serve_throughput () =
+  Printf.printf "\n-- serve throughput (cold solve vs warm cache hit) --\n%!";
+  let n = if quick then 64 else 256 in
+  let lines =
+    Array.init n (fun i ->
+        match
+          Api.Request.make
+            ~workload:(Dlt.Cost_model.Power 2.)
+            ~total:(100. +. float_of_int i)
+            ~platform:(Api.Request.Speeds [| 1.; 2.; 3.; 5.; 8.; 13.; 21.; 34. |])
+            ~kind:Api.Request.Ratio ()
+        with
+        | Ok r -> Obs.Json.to_compact (Api.Request.to_json r)
+        | Error e -> failwith ("serve bench request: " ^ e))
+  in
+  let batch =
+    Serve.Batch.create
+      { Serve.Batch.default_config with Serve.Batch.cache_capacity = 2 * n }
+  in
+  let t0 = Obs.Clock.now_ns () in
+  Array.iter (fun l -> ignore (Serve.Batch.handle_line batch l)) lines;
+  let cold_s = Obs.Clock.ns_to_s (Obs.Clock.now_ns () - t0) in
+  let reps = if quick then 50 else 200 in
+  let t1 = Obs.Clock.now_ns () in
+  for _ = 1 to reps do
+    Array.iter (fun l -> ignore (Serve.Batch.handle_line batch l)) lines
+  done;
+  let warm_s = Obs.Clock.ns_to_s (Obs.Clock.now_ns () - t1) in
+  let cold_qps = float_of_int n /. cold_s in
+  let warm_qps = float_of_int (n * reps) /. warm_s in
+  let ratio = warm_qps /. cold_qps in
+  Printf.printf
+    "cold %.0f queries/s (%d distinct), warm %.0f queries/s (%d hits): %.1fx\n%!"
+    cold_qps n warm_qps (n * reps) ratio;
+  assert (Serve.Batch.hits batch = n * reps);
+  Obs.Json.Obj
+    [
+      ("queries", Obs.Json.Int n);
+      ("cold_queries_per_sec", Obs.Json.Float cold_qps);
+      ("warm_queries_per_sec", Obs.Json.Float warm_qps);
+      ("warm_over_cold", Obs.Json.Float ratio);
+      ("cache_hits", Obs.Json.Int (Serve.Batch.hits batch));
+      ("cache_misses", Obs.Json.Int (Serve.Batch.misses batch));
+    ]
+
+let check_serve_gate serve_json =
+  if not check_serve then true
+  else
+    let ratio =
+      match Obs.Json.member "warm_over_cold" serve_json with
+      | Some (Obs.Json.Float f) -> f
+      | Some (Obs.Json.Int i) -> float_of_int i
+      | _ -> nan
+    in
+    if ratio >= 10. then begin
+      Printf.printf "\nServe throughput check: OK (warm %.1fx cold >= 10x)\n%!" ratio;
+      true
+    end
+    else begin
+      Printf.printf "\nServe throughput check: FAILED\n%!";
+      Printf.printf "  REGRESSION warm/cold %.2fx < required 10x floor\n%!" ratio;
+      false
+    end
+
 (* Gate for [--check-overhead]: instrumentation <= 5% on the big run,
    disabled path <= 1%.  Pure same-process ratios — no committed
    baseline involved, so the gate is machine-independent. *)
@@ -1068,6 +1145,7 @@ let () =
      headline (see report_des_throughput). *)
   let obs_overhead, best_mr_seconds = report_obs_overhead () in
   let des_throughput = report_des_throughput ~best_mr_seconds () in
+  let serve_throughput = report_serve_throughput () in
   let alloc_measured, allocations = report_allocations () in
   (match write_alloc_path with
   | Some path -> write_alloc_baseline path alloc_measured
@@ -1081,6 +1159,11 @@ let () =
   let json =
     Obs.Json.Obj
       ([
+         (* Envelope header shared with the Api.Response schema, so the
+            artifact declares its own version like every other JSON
+            surface. *)
+         ("schema_version", Obs.Json.Int Api.Response.schema_version);
+         ("provenance", Obs.Json.Obj [ ("solver", Obs.Json.String "nldl.bench") ]);
          ("version", Obs.Json.String Core.version);
          ("quick", Obs.Json.Bool quick);
          ( "kernels_ns_per_run",
@@ -1090,6 +1173,7 @@ let () =
          ("sort_throughput", sort_throughput);
          ("fig4_scaling", fig4_scaling);
          ("des_throughput", des_throughput);
+         ("serve_throughput", serve_throughput);
          ("obs_overhead", obs_overhead);
          ("allocations", allocations);
        ]
@@ -1112,6 +1196,7 @@ let () =
     | None -> true
   in
   let throughput_ok = check_throughput des_throughput in
+  let serve_ok = check_serve_gate serve_throughput in
   let overhead_ok = check_overhead_gate obs_overhead in
   Printf.printf "\nDone.\n%!";
-  if not (alloc_ok && throughput_ok && overhead_ok) then exit 1
+  if not (alloc_ok && throughput_ok && serve_ok && overhead_ok) then exit 1

@@ -1,0 +1,17 @@
+(** Request evaluation: the one place that dispatches a query to the
+    DLT solvers.  The CLI one-shot path, the serve daemon and the bench
+    serve-throughput section all call {!eval}, which is what makes
+    their answers byte-identical. *)
+
+val solver_name : Request.t -> string
+(** Which solver {!eval} will use: ["dlt.linear"] (closed form),
+    ["dlt.nonlinear.bisection"], or ["dlt.steady_state"] for
+    multi-load admission. *)
+
+val eval : Request.t -> Response.t
+(** Validate and answer.  Invalid requests yield an [Error] body with
+    code ["invalid_request"] rather than raising. *)
+
+val eval_line : string -> Response.t
+(** Parse one wire line and {!eval} it; malformed JSON yields an
+    [Error] body with code ["bad_request"]. *)

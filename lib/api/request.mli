@@ -1,0 +1,77 @@
+(** The typed query plane: what a consumer may ask the scheduling
+    service.
+
+    A request names a platform (explicit speeds or a named
+    {!Platform.Profiles} draw), a cost model, a communication model and
+    a query kind.  The same value drives the one-shot CLI
+    ([nldl query --inline]), the [nldl serve] daemon and the bench
+    serve-throughput section, so all three answer byte-identically.
+
+    The JSON codec is {e strict}: unknown fields, non-finite or
+    non-positive speeds, and malformed workloads are rejected with a
+    message rather than defaulted away — a daemon serving many clients
+    must not guess. *)
+
+type platform =
+  | Speeds of float array
+      (** Explicit worker speeds, any order (the platform sorts). *)
+  | Profile of { name : string; p : int; seed : int }
+      (** A named {!Platform.Profiles} drawn deterministically from
+          [seed] for [p] workers. *)
+
+type kind =
+  | Schedule  (** full single-round schedule: intervals + makespan *)
+  | Ratio  (** no-free-lunch diagnosis: makespan vs ideal, done work *)
+  | Plan  (** allocation only: per-worker data amounts and fractions *)
+  | Multi_load of float array
+      (** steady-state admission of multiple simultaneous loads with
+          the given demand rates (Gallet/Robert/Vivien-style) *)
+
+type t = {
+  platform : platform;
+  bandwidth : float;  (** uniform link bandwidth, > 0 *)
+  latency : float;  (** per-message latency, >= 0 *)
+  workload : Dlt.Cost_model.t;
+  comm_model : Dlt.Schedule.comm_model;
+  total : float;  (** load size; > 0 for Schedule/Ratio/Plan, unused for Multi_load *)
+  kind : kind;
+}
+
+val schema_version : int
+
+val make :
+  ?bandwidth:float ->
+  ?latency:float ->
+  ?workload:Dlt.Cost_model.t ->
+  ?comm_model:Dlt.Schedule.comm_model ->
+  ?total:float ->
+  platform:platform ->
+  kind:kind ->
+  unit ->
+  (t, string) result
+(** Build and {!validate} a request.  Defaults: [bandwidth = 1.],
+    [latency = 0.], [workload = Linear], [comm_model = Parallel],
+    [total = 1.]. *)
+
+val validate : t -> (unit, string) result
+(** Reject NaN/infinite/non-positive speeds, empty platforms,
+    non-positive [p]/[total], negative latency, non-positive demand
+    rates, and unknown profile names. *)
+
+val star : t -> Platform.Star.t
+(** Materialize the platform (profile draws are deterministic in the
+    request's seed).  The star sorts workers by speed, which is what
+    makes permuted-but-equal speed vectors indistinguishable
+    downstream.  Call only on validated requests. *)
+
+val to_json : t -> Obs.Json.t
+(** Canonical encoding; optional fields are always emitted so the
+    encoding of a value is unique. *)
+
+val of_json : Obs.Json.t -> (t, string) result
+(** Strict decoding: unknown fields are errors, [schema_version] (if
+    present) must match {!schema_version}, and the result is
+    {!validate}d. *)
+
+val of_line : string -> (t, string) result
+(** Parse one line of the wire protocol. *)

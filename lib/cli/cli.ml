@@ -17,9 +17,10 @@ open Cmdliner
 let lint_entry =
   let run thunk () =
     let o : Lint.Cmd.outcome = thunk () in
-    ( Some
-        (Experiments.Registry.output ~header:o.Lint.Cmd.header
-           ~rows:o.Lint.Cmd.rows ~json:o.Lint.Cmd.out_json),
+    (* The rich findings JSON (counts, per-finding "new" flags) stays on
+       Lint.Cmd's own flag; the Registry --json surface gets the findings
+       table in the standard Api.Response envelope like every command. *)
+    ( Some (Experiments.Registry.table ~header:o.Lint.Cmd.header ~rows:o.Lint.Cmd.rows),
       o.Lint.Cmd.status )
   in
   Experiments.Registry.gated ~name:"lint"
@@ -84,18 +85,7 @@ let profile_entry =
               ])
         (Obs.Hist.snapshot ())
     in
-    let json =
-      Obs.Json.List
-        (List.map
-           (fun row ->
-             Obs.Json.Obj
-               (List.map2
-                  (fun k v ->
-                    (k, try Obs.Json.Int (int_of_string v) with _ -> Obs.Json.String v))
-                  header row))
-           rows)
-    in
-    Experiments.Registry.output ~header ~rows ~json
+    Experiments.Registry.table ~header ~rows
   in
   let run name args out trace_events () =
     match
@@ -166,3 +156,34 @@ let command =
 let run () = Cmd.eval command
 
 let eval_value ~argv = Cmd.eval_value ~argv command
+
+(* The documented programmatic entry for tests: evaluate an argument
+   list in-process with stdout captured to a temp file, so test_cli and
+   the serve byte-identity tests never shell out or hand-build argv
+   arrays with dup2 plumbing of their own. *)
+
+type capture = { status : int; out : string }
+
+let eval_for_test args =
+  let argv = Array.of_list ("nldl" :: args) in
+  let tmp = Filename.temp_file "nldl-cli" ".out" in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o600 in
+  let saved = Unix.dup Unix.stdout in
+  flush stdout;
+  Unix.dup2 fd Unix.stdout;
+  Unix.close fd;
+  let result =
+    Fun.protect
+      ~finally:(fun () ->
+        flush stdout;
+        Unix.dup2 saved Unix.stdout;
+        Unix.close saved)
+      (fun () -> eval_value ~argv)
+  in
+  let out = In_channel.with_open_bin tmp In_channel.input_all in
+  Sys.remove tmp;
+  match result with
+  | Ok (`Ok () | `Help | `Version) -> Ok { status = 0; out }
+  | Error `Parse -> Error `Parse
+  | Error `Term -> Error `Term
+  | Error `Exn -> Error `Exn

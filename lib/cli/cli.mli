@@ -14,3 +14,12 @@ val eval_value :
   argv:string array ->
   (unit Cmdliner.Cmd.eval_ok, Cmdliner.Cmd.eval_error) result
 (** Evaluate an explicit argv (for tests). *)
+
+type capture = { status : int; out : string }
+
+val eval_for_test : string list -> (capture, [ `Parse | `Term | `Exn ]) result
+(** The documented programmatic entry for tests: run
+    [nldl args...] in-process with stdout captured, returning what the
+    command printed.  [--help]/[--version] count as status 0.  Gated
+    commands that would [exit] non-zero must not be driven through this
+    (the [exit] is not catchable); drive their library API instead. *)

@@ -1,23 +1,6 @@
 open Cmdliner
 
-(* Generic JSON view of a string table: numeric-looking cells become
-   numbers so downstream tools see typed values. *)
-let json_cell s =
-  match int_of_string_opt s with
-  | Some i -> Obs.Json.Int i
-  | None -> (
-      match float_of_string_opt s with
-      | Some f -> Obs.Json.Float f
-      | None -> Obs.Json.String s)
-
-let json_of_table header rows =
-  Obs.Json.List
-    (List.map
-       (fun row -> Obs.Json.Obj (List.map2 (fun k v -> (k, json_cell v)) header row))
-       rows)
-
-let table_output header rows =
-  Registry.output ~header ~rows ~json:(json_of_table header rows)
+let table_output header rows = Registry.table ~header ~rows
 
 let fig4 =
   let run profile trials seed processors () =
@@ -185,7 +168,7 @@ let faults =
     in
     Faults_exp.print rows;
     let header, csv_rows = Faults_exp.csv rows in
-    Some (Registry.output ~header ~rows:csv_rows ~json:(Faults_exp.json rows))
+    Some (Registry.table ~header ~rows:csv_rows)
   in
   Registry.entry ~name:"faults"
     ~synopsis:
@@ -259,7 +242,145 @@ let mrsim =
       const run $ workers $ tasks $ crash_rate $ slowdown_rate $ fetch_failure
       $ horizon $ timeline $ timeline_events $ Registry.seed)
 
+(* --- the query plane: nldl serve / nldl query --------------------------- *)
+
+let socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path.")
+
+let serve =
+  let http =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "http" ] ~docv:"PORT"
+          ~doc:"Also serve the line protocol on 127.0.0.1:$(docv).")
+  in
+  let cache =
+    Arg.(
+      value & opt int Serve.Batch.default_config.Serve.Batch.cache_capacity
+      & info [ "cache" ] ~docv:"N" ~doc:"Response-cache capacity (LRU entries).")
+  in
+  let max_inflight =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-inflight" ] ~docv:"N"
+          ~doc:"Domains evaluating a batch concurrently (default: pool size).")
+  in
+  let queue_depth =
+    Arg.(
+      value & opt int Serve.Batch.default_config.Serve.Batch.queue_depth
+      & info [ "queue-depth" ] ~docv:"N"
+          ~doc:"Cache misses admitted per batch; overflow is rejected.")
+  in
+  let deadline =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline" ] ~docv:"S" ~doc:"Per-request wall-clock budget in seconds.")
+  in
+  let run socket http cache max_inflight queue_depth deadline domains () =
+    let batch =
+      {
+        Serve.Batch.cache_capacity = cache;
+        max_inflight =
+          (match max_inflight with
+          | Some n -> n
+          | None -> Serve.Batch.default_config.Serve.Batch.max_inflight);
+        queue_depth;
+        deadline_s = deadline;
+      }
+    in
+    let socket_path =
+      match socket with Some p -> p | None -> Serve.Daemon.default_socket_path ()
+    in
+    let pool =
+      match domains with
+      | Some d -> Exec.Pool.get_global ~at_least:d ()
+      | None -> Exec.Pool.get_global ()
+    in
+    let engine =
+      Serve.Daemon.run ~pool
+        ~on_ready:(fun () -> Printf.printf "nldl serve: listening on %s\n%!" socket_path)
+        { Serve.Daemon.socket_path; tcp_port = http; batch }
+    in
+    Some
+      (Registry.table
+         ~header:[ "stat"; "value" ]
+         ~rows:
+           [
+             [ "requests"; string_of_int (Serve.Batch.requests engine) ];
+             [ "cache_hits"; string_of_int (Serve.Batch.hits engine) ];
+             [ "cache_misses"; string_of_int (Serve.Batch.misses engine) ];
+             [ "cache_evictions"; string_of_int (Serve.Batch.evictions engine) ];
+           ])
+  in
+  Registry.entry ~name:"serve"
+    ~synopsis:
+      "Run the batched scheduling daemon: one JSON request per line over a Unix \
+       socket (or --http), canonical Api.Response lines back, repeats answered \
+       from a bounded LRU."
+    Term.(
+      const run $ socket_arg $ http $ cache $ max_inflight $ queue_depth $ deadline
+      $ Registry.domains)
+
+let query =
+  let inline =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "inline" ] ~docv:"JSON"
+          ~doc:"Evaluate one request line and print the response line.")
+  in
+  let file =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"Read one request per line from $(docv) (\"-\" = stdin).")
+  in
+  let read_lines = function
+    | "-" -> In_channel.input_lines In_channel.stdin
+    | path -> In_channel.with_open_text path In_channel.input_lines
+  in
+  let run inline socket file () =
+    let lines =
+      match (inline, file) with
+      | Some line, None -> Some [ line ]
+      | None, Some path -> Some (read_lines path)
+      | Some _, Some _ ->
+          prerr_endline "nldl query: give --inline or a FILE, not both";
+          None
+      | None, None ->
+          prerr_endline "nldl query: nothing to do; give --inline JSON or a FILE";
+          None
+    in
+    match lines with
+    | None -> (None, 2)
+    | Some lines ->
+        (match socket with
+        | Some path ->
+            let c = Serve.Client.connect_unix path in
+            Fun.protect
+              ~finally:(fun () -> Serve.Client.close c)
+              (fun () ->
+                List.iter (fun l -> print_endline (Serve.Client.request c l)) lines)
+        | None ->
+            List.iter
+              (fun l -> print_endline (Api.Response.to_line (Api.Eval.eval_line l)))
+              lines);
+        (None, 0)
+  in
+  Registry.gated ~name:"query"
+    ~synopsis:
+      "Answer scheduling queries (one JSON request per line) in-process, or \
+       forward them to a running daemon with --socket."
+    Term.(const run $ inline $ socket_arg $ file)
+
 let all =
   [
     fig4; nonlinear; sort; ratio; partition; mapreduce; time; ablations; faults; mrsim;
+    serve; query;
   ]

@@ -4,4 +4,4 @@
 
 val all : Registry.entry list
 (** In help order: fig4, nonlinear, sort, ratio, partition, mapreduce,
-    time, ablations, faults. *)
+    time, ablations, faults, mrsim, serve, query. *)

@@ -26,6 +26,71 @@ let to_string ~header ~rows =
   List.iter emit rows;
   Buffer.contents buf
 
+exception Bad of string
+
+let parse s =
+  let n = String.length s in
+  let rows = ref [] in
+  let row = ref [] in
+  let buf = Buffer.create 16 in
+  let flush_field () =
+    row := Buffer.contents buf :: !row;
+    Buffer.clear buf
+  in
+  let flush_row () =
+    rows := List.rev !row :: !rows;
+    row := []
+  in
+  let i = ref 0 in
+  try
+    while !i < n do
+      (* one field, quoted or bare *)
+      if s.[!i] = '"' then begin
+        incr i;
+        let closed = ref false in
+        while not !closed do
+          if !i >= n then raise (Bad "unterminated quoted field");
+          (match s.[!i] with
+          | '"' ->
+              if !i + 1 < n && s.[!i + 1] = '"' then begin
+                Buffer.add_char buf '"';
+                incr i
+              end
+              else closed := true
+          | c -> Buffer.add_char buf c);
+          incr i
+        done
+      end
+      else
+        while !i < n && s.[!i] <> ',' && s.[!i] <> '\n' && s.[!i] <> '\r' do
+          if s.[!i] = '"' then raise (Bad "quote inside unquoted field");
+          Buffer.add_char buf s.[!i];
+          incr i
+        done;
+      flush_field ();
+      if !i >= n then flush_row ()
+      else
+        match s.[!i] with
+        | ',' ->
+            incr i;
+            if !i >= n then begin
+              (* trailing comma: one final empty field *)
+              flush_field ();
+              flush_row ()
+            end
+        | '\r' ->
+            incr i;
+            if !i < n && s.[!i] = '\n' then incr i;
+            flush_row ()
+        | '\n' ->
+            incr i;
+            flush_row ()
+        | c -> raise (Bad (Printf.sprintf "unexpected %C after quoted field" c))
+    done;
+    if !row <> [] then flush_row ();
+    Ok (List.rev !rows)
+  with Bad msg -> Error msg
+
 let write ~path ~header ~rows =
   let oc = open_out path in
   Fun.protect

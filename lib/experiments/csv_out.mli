@@ -8,4 +8,11 @@ val to_string : header:string list -> rows:string list list -> string
 (** Raises [Invalid_argument] when a row's width differs from the
     header's. *)
 
+val parse : string -> (string list list, string) result
+(** RFC-4180 inverse of {!to_string} (header row included): handles
+    quoted fields with embedded commas, quotes and newlines, and both
+    [\n] and [\r\n] row terminators.  [parse (to_string ~header ~rows)]
+    is [Ok (header :: rows)] for any field contents — the round-trip
+    the property test pins down. *)
+
 val write : path:string -> header:string list -> rows:string list list -> unit

@@ -147,21 +147,3 @@ let csv rows =
           Printf.sprintf "%g" r.unfinished;
         ])
       rows )
-
-let json rows =
-  Obs.Json.List
-    (List.map
-       (fun r ->
-         Obs.Json.Obj
-           [
-             ("crash_rate", Obs.Json.Float r.crash_rate);
-             ("sigma", Obs.Json.Float r.sigma);
-             ("policy", Obs.Json.String r.policy);
-             ("makespan", Obs.Json.Float r.makespan);
-             ("degradation", Obs.Json.Float r.degradation);
-             ("wasted_work", Obs.Json.Float r.wasted);
-             ("retries", Obs.Json.Float r.retries);
-             ("crashes_survived", Obs.Json.Float r.crashes);
-             ("unfinished", Obs.Json.Float r.unfinished);
-           ])
-       rows)

@@ -37,4 +37,3 @@ val run :
 
 val print : row list -> unit
 val csv : row list -> string list * string list list
-val json : row list -> Obs.Json.t

@@ -14,6 +14,24 @@ type entry = {
 
 let output ~header ~rows ~json = { header; rows; json }
 
+(* Generic JSON view of a string table: numeric-looking cells become
+   numbers so downstream tools see typed values. *)
+let json_cell s =
+  match int_of_string_opt s with
+  | Some i -> Obs.Json.Int i
+  | None -> (
+      match float_of_string_opt s with
+      | Some f -> Obs.Json.Float f
+      | None -> Obs.Json.String s)
+
+let json_of_table header rows =
+  Obs.Json.List
+    (List.map
+       (fun row -> Obs.Json.Obj (List.map2 (fun k v -> (k, json_cell v)) header row))
+       rows)
+
+let table ~header ~rows = { header; rows; json = json_of_table header rows }
+
 let entry ~name ~synopsis term =
   { name; synopsis; term = Term.(const (fun f () -> (f (), 0)) $ term) }
 
@@ -138,8 +156,17 @@ let dump name out csv json =
   | None, _ -> ()
   | Some _, None -> missing "json"
   | Some path, Some o ->
-      Obs.Json.write_file path
-        (Obs.Json.Obj [ ("experiment", Obs.Json.String name); ("rows", o.json) ]);
+      (* The --json surface is the canonical Api.Response envelope, the
+         same schema `nldl serve` answers with and the bench artifact
+         embeds — consumers parse one shape, whatever produced it. *)
+      let response =
+        {
+          Api.Response.body =
+            Api.Response.Table { experiment = name; header = o.header; rows = o.json };
+          provenance = { Api.Response.solver = "nldl.registry"; cache = Api.Response.Uncached };
+        }
+      in
+      Obs.Json.write_file path (Api.Response.to_json response);
       Printf.eprintf "JSON written to %s\n%!" path
 
 let to_cmd e =

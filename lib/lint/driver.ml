@@ -20,6 +20,7 @@ let scope_of ~file ~(marks : Attrs.file_marks) ~emit : Rules.scope =
       starts_with ~prefix:"lib/des/" file
       || starts_with ~prefix:"lib/mapreduce/" file
       || starts_with ~prefix:"lib/exec/" file;
+    in_experiments = starts_with ~prefix:"lib/experiments/" file;
     unsafe_zone = marks.unsafe_zone <> None;
     domain_safe = marks.domain_safe <> None;
     file_allows = marks.file_allows;

@@ -9,6 +9,9 @@ type scope = {
   in_instrumented : bool;
       (* lib/des/, lib/mapreduce/, lib/exec/: hot paths that report
          through Obs and must not grow private timing/histogram code *)
+  in_experiments : bool;
+      (* lib/experiments/: response JSON goes through the Api.Response
+         envelope, never hand-rolled Obs.Json constructors *)
   unsafe_zone : bool;
   domain_safe : bool;
   file_allows : string list;
@@ -450,7 +453,48 @@ let h307 =
         });
   }
 
-let all = [ d001; d002; u101; s201; h301; h302; h303; h305; h306; h307 ]
+(* H308 guards the response-schema funnel: every JSON an experiment
+   emits must go through the Api.Response envelope (built by
+   Experiments.Registry.dump), so the CLI --json surface, the serve
+   daemon and the bench artifact stay one schema.  Hand-rolled
+   Obs.Json.Obj/List construction in lib/experiments bypasses that;
+   registry.ml itself is the one sanctioned builder. *)
+let h308 =
+  {
+    id = "H308";
+    group = "H";
+    synopsis =
+      "no hand-rolled response JSON (Obs.Json.Obj/List construction) in \
+       lib/experiments outside registry.ml; return Registry.table and let the \
+       Api.Response envelope serialize";
+    extend =
+      (fun scope it ->
+        {
+          it with
+          expr =
+            (fun self e ->
+              (if scope.in_experiments && scope.file <> "lib/experiments/registry.ml"
+               then
+                 match e.pexp_desc with
+                 | Pexp_construct ({ txt; _ }, _) -> (
+                     match (try Longident.flatten txt with _ -> []) with
+                     | [ "Obs"; "Json"; ("Obj" | "List") ] | [ "Json"; ("Obj" | "List") ]
+                       ->
+                         report scope ~id:"H308" ~loc:e.pexp_loc
+                           (Printf.sprintf
+                              "%s hand-rolls response JSON in lib/experiments; return \
+                               a Registry.table and let the Api.Response envelope \
+                               serialize it (one schema for --json, nldl serve and \
+                               the bench artifact), or [@nldl.allow \"H308\"] a \
+                               non-response payload"
+                              (String.concat "." (Longident.flatten txt)))
+                     | _ -> ())
+                 | _ -> ());
+              it.expr self e);
+        });
+  }
+
+let all = [ d001; d002; u101; s201; h301; h302; h303; h305; h306; h307; h308 ]
 
 let catalog =
   List.map (fun r -> (r.id, r.synopsis)) all

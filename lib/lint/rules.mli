@@ -32,6 +32,9 @@ type scope = {
       (** [lib/des/], [lib/mapreduce/] or [lib/exec/] (H307's
           histogram-array scope; [lib/sortlib] is deliberately out —
           its counting arrays are the algorithm, not telemetry) *)
+  in_experiments : bool;
+      (** [lib/experiments/] (H308's scope: response JSON goes through
+          the [Api.Response] envelope, never hand-rolled) *)
   unsafe_zone : bool;  (** file carries [[\@\@\@nldl.unsafe_zone]] *)
   domain_safe : bool;  (** file carries [[\@\@\@nldl.domain_safe]] *)
   file_allows : string list;

@@ -76,6 +76,51 @@ let to_string v =
   Buffer.add_char buf '\n';
   Buffer.contents buf
 
+(* Shortest decimal form that parses back to the same float: %.6g is
+   fine for human-facing reports but loses bits, and the query-plane
+   wire format (Api/Serve line protocol) needs byte-stable, lossless
+   values. *)
+let float_compact f =
+  if not (Float.is_finite f) then "null"
+  else
+    let s = Printf.sprintf "%.15g" f in
+    if float_of_string s = f then s else Printf.sprintf "%.17g" f
+
+let rec emit_compact buf v =
+  match v with
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (string_of_bool b)
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f -> Buffer.add_string buf (float_compact f)
+  | String s ->
+      Buffer.add_char buf '"';
+      Buffer.add_string buf (escape s);
+      Buffer.add_char buf '"'
+  | List items ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_char buf ',';
+          emit_compact buf item)
+        items;
+      Buffer.add_char buf ']'
+  | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, item) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_char buf '"';
+          Buffer.add_string buf (escape k);
+          Buffer.add_string buf "\":";
+          emit_compact buf item)
+        fields;
+      Buffer.add_char buf '}'
+
+let to_compact v =
+  let buf = Buffer.create 256 in
+  emit_compact buf v;
+  Buffer.contents buf
+
 let write_file path v =
   let oc = open_out path in
   output_string oc (to_string v);

@@ -16,6 +16,12 @@ val to_string : t -> string
 (** Pretty-printed, 2-space indent, trailing newline.  Non-finite
     floats are emitted as [null] (JSON has no NaN/inf). *)
 
+val to_compact : t -> string
+(** Single-line rendering with no whitespace and lossless floats (the
+    shortest decimal that parses back to the same value), for the
+    line-delimited query-plane wire format.  Non-finite floats emit as
+    [null], like {!to_string}. *)
+
 val write_file : string -> t -> unit
 
 val of_string : string -> (t, string) result

@@ -1,0 +1,223 @@
+module Json = Obs.Json
+
+type config = {
+  cache_capacity : int;
+  max_inflight : int;
+  queue_depth : int;
+  deadline_s : float option;
+}
+
+let default_config =
+  {
+    cache_capacity = 1024;
+    max_inflight = Exec.Pool.default_domains ();
+    queue_depth = 256;
+    deadline_s = None;
+  }
+
+type t = {
+  cfg : config;
+  pool : Exec.Pool.t;
+  cache : Cache.t;
+  latency : Obs.Hist.t;
+  metric_requests : Obs.Metrics.counter;
+  metric_rejected : Obs.Metrics.counter;
+  mutable request_count : int;
+  mutable rejected_count : int;
+}
+
+let create ?pool cfg =
+  if cfg.max_inflight <= 0 then invalid_arg "Batch.create: max_inflight must be positive";
+  if cfg.queue_depth <= 0 then invalid_arg "Batch.create: queue_depth must be positive";
+  let pool = match pool with Some p -> p | None -> Exec.Pool.get_global () in
+  {
+    cfg;
+    pool;
+    cache = Cache.create ~capacity:cfg.cache_capacity;
+    latency = Obs.Hist.create "serve.latency_ns";
+    metric_requests = Obs.Metrics.counter "serve.requests";
+    metric_rejected = Obs.Metrics.counter "serve.rejected";
+    request_count = 0;
+    rejected_count = 0;
+  }
+
+let error_line ?solver ~code msg =
+  Api.Response.to_line (Api.Response.error ?solver ~code msg)
+
+let deadline_ns cfg =
+  match cfg.deadline_s with None -> max_int | Some d -> int_of_float (d *. 1e9)
+
+(* A request whose wall-clock budget is already spent is rejected before
+   any solver work — this is what makes [deadline_s = Some 0.] an
+   admission test rather than a race. *)
+let expired t ~t0 = Obs.Clock.now_ns () - t0 > deadline_ns t.cfg
+
+let count_rejected t =
+  t.rejected_count <- t.rejected_count + 1;
+  Obs.Metrics.incr_counter t.metric_rejected
+
+let solve_guarded t ~t0 req =
+  if expired t ~t0 then begin
+    count_rejected t;
+    Api.Response.error ~code:"deadline" "per-request deadline exceeded before solve"
+  end
+  else
+    let retry = { Exec.Pool.default_retry with deadline = t.cfg.deadline_s } in
+    match Exec.Pool.submit ~retry t.pool (fun () -> Api.Eval.eval req) with
+    | Ok resp -> resp
+    | Error q ->
+        let code = if q.Exec.Pool.deadline_hit then "deadline" else "solver_failure" in
+        if q.Exec.Pool.deadline_hit then count_rejected t;
+        Api.Response.error ~code (Printexc.to_string q.Exec.Pool.error)
+
+let count_request t =
+  t.request_count <- t.request_count + 1;
+  Obs.Metrics.incr_counter t.metric_requests
+
+let record_latency t t0 = Obs.Hist.record t.latency (Obs.Clock.now_ns () - t0)
+
+let handle_miss t ~t0 ~raw req key =
+  let resp = solve_guarded t ~t0 req in
+  let line = Api.Response.to_line resp in
+  if not (Api.Response.is_error resp) then begin
+    Cache.insert t.cache ~key ~line;
+    Cache.memoize t.cache ~raw ~key
+  end;
+  line
+
+let slow_path t ~t0 raw =
+  let line =
+    match Api.Request.of_line raw with
+    | Error msg -> error_line ~solver:"api.parse" ~code:"bad_request" msg
+    | Ok req -> (
+        let key = Api.Fingerprint.of_request req in
+        match Cache.find t.cache key with
+        | line ->
+            Cache.memoize t.cache ~raw ~key;
+            line
+        | exception Cache.Miss -> handle_miss t ~t0 ~raw req key)
+  in
+  record_latency t t0;
+  line
+
+let handle_line t raw =
+  let t0 = Obs.Clock.now_ns () in
+  count_request t;
+  match Cache.find_memo t.cache raw with
+  | line ->
+      record_latency t t0;
+      line
+  | exception Cache.Miss -> slow_path t ~t0 raw
+
+type pending = {
+  p_index : int;
+  p_raw : string;
+  p_req : Api.Request.t;
+  p_key : string;
+  mutable p_followers : (int * string) list;  (* same-key repeats within the batch *)
+}
+
+let handle_batch t lines =
+  let n = Array.length lines in
+  let t0 = Obs.Clock.now_ns () in
+  let out = Array.make n "" in
+  let by_key : (string, pending) Hashtbl.t = Hashtbl.create 16 in
+  let misses = ref [] in
+  let admitted = ref 0 in
+  for i = 0 to n - 1 do
+    let raw = lines.(i) in
+    count_request t;
+    match Cache.find_memo t.cache raw with
+    | line -> out.(i) <- line
+    | exception Cache.Miss -> (
+        match Api.Request.of_line raw with
+        | Error msg -> out.(i) <- error_line ~solver:"api.parse" ~code:"bad_request" msg
+        | Ok req -> (
+            let key = Api.Fingerprint.of_request req in
+            match Cache.find t.cache key with
+            | line ->
+                Cache.memoize t.cache ~raw ~key;
+                out.(i) <- line
+            | exception Cache.Miss -> (
+                match Hashtbl.find_opt by_key key with
+                | Some p -> p.p_followers <- (i, raw) :: p.p_followers
+                | None ->
+                    if !admitted >= t.cfg.queue_depth then begin
+                      count_rejected t;
+                      out.(i) <-
+                        error_line ~code:"overloaded"
+                          (Printf.sprintf "queue depth %d exceeded" t.cfg.queue_depth)
+                    end
+                    else if expired t ~t0 then begin
+                      count_rejected t;
+                      out.(i) <-
+                        error_line ~code:"deadline"
+                          "per-request deadline exceeded before solve"
+                    end
+                    else begin
+                      incr admitted;
+                      let p =
+                        {
+                          p_index = i;
+                          p_raw = raw;
+                          p_req = req;
+                          p_key = key;
+                          p_followers = [];
+                        }
+                      in
+                      Hashtbl.add by_key key p;
+                      misses := p :: !misses
+                    end)))
+  done;
+  let miss_arr = Array.of_list (List.rev !misses) in
+  let solved =
+    Exec.Pool.parallel_map_array ~workers:t.cfg.max_inflight t.pool
+      (fun p ->
+        ( p,
+          try Api.Eval.eval p.p_req
+          with e -> Api.Response.error ~code:"solver_failure" (Printexc.to_string e) ))
+      miss_arr
+  in
+  Array.iter
+    (fun (p, resp) ->
+      let line = Api.Response.to_line resp in
+      out.(p.p_index) <- line;
+      if not (Api.Response.is_error resp) then begin
+        Cache.insert t.cache ~key:p.p_key ~line;
+        Cache.memoize t.cache ~raw:p.p_raw ~key:p.p_key
+      end;
+      List.iter
+        (fun (j, raw) ->
+          out.(j) <- line;
+          if not (Api.Response.is_error resp) then Cache.memoize t.cache ~raw ~key:p.p_key)
+        p.p_followers)
+    solved;
+  record_latency t t0;
+  out
+
+let hits t = Cache.hits t.cache
+let misses t = Cache.misses t.cache
+let evictions t = Cache.evictions t.cache
+let requests t = t.request_count
+
+let stats_json t =
+  let s = Obs.Hist.snapshot_one t.latency in
+  Json.Obj
+    [
+      ("requests", Json.Int t.request_count);
+      ("rejected", Json.Int t.rejected_count);
+      ("cache_hits", Json.Int (Cache.hits t.cache));
+      ("cache_misses", Json.Int (Cache.misses t.cache));
+      ("cache_evictions", Json.Int (Cache.evictions t.cache));
+      ("cache_size", Json.Int (Cache.size t.cache));
+      ("cache_capacity", Json.Int (Cache.capacity t.cache));
+      ( "latency_ns",
+        Json.Obj
+          [
+            ("count", Json.Int s.Obs.Hist.count);
+            ("mean", Json.Float (Obs.Hist.mean s));
+            ("p50", Json.Int (Obs.Hist.quantile s 0.5));
+            ("p99", Json.Int (Obs.Hist.quantile s 0.99));
+            ("max", Json.Int s.Obs.Hist.max_v);
+          ] );
+    ]

@@ -1,0 +1,47 @@
+(** Request batching, admission control and cache management: the
+    daemon's engine, factored out of the socket loop so tests and the
+    bench can drive it in-process.
+
+    Every answer is the canonical {!Api.Response.to_line} rendering, so
+    a cached response is byte-identical to a cold solve and to
+    [nldl query --inline]. *)
+
+type config = {
+  cache_capacity : int;  (** LRU entries; > 0 *)
+  max_inflight : int;  (** domains evaluating a batch concurrently; > 0 *)
+  queue_depth : int;  (** cache misses admitted per batch; overflow is rejected *)
+  deadline_s : float option;  (** per-request wall-clock budget *)
+}
+
+val default_config : config
+(** 1024 entries, pool-sized inflight, depth 256, no deadline. *)
+
+type t
+
+val create : ?pool:Exec.Pool.t -> config -> t
+(** [pool] defaults to {!Exec.Pool.get_global}.  Raises
+    [Invalid_argument] on a non-positive capacity, inflight or
+    depth. *)
+
+val handle_line : t -> string -> string
+(** Answer one raw request line (no trailing newline).  Repeats of a
+    byte-identical line are answered from the memo with zero
+    allocation; semantically-equal spellings hit the fingerprint LRU.
+    Misses are solved under [Exec.Pool.submit ~retry] with the
+    configured deadline; failures come back as [Error]-body response
+    lines, never exceptions. *)
+
+val handle_batch : t -> string array -> string array
+(** Answer a batch: hits resolve first, then the admitted misses are
+    evaluated concurrently on the pool ([max_inflight] wide) and
+    inserted into the cache.  Misses beyond [queue_depth] are rejected
+    with an ["overloaded"] error.  Responses are in request order. *)
+
+val hits : t -> int
+val misses : t -> int
+val evictions : t -> int
+val requests : t -> int
+
+val stats_json : t -> Obs.Json.t
+(** Counters, cache occupancy and the latency histogram's quantiles —
+    the payload of the daemon's [{"control":"stats"}] query. *)

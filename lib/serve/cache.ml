@@ -1,0 +1,115 @@
+type node = {
+  key : string;
+  mutable line : string;
+  mutable raws : string list;  (* memoized raw spellings, evicted with the node *)
+  mutable prev : node;
+  mutable next : node;
+}
+
+type t = {
+  cap : int;
+  table : (string, node) Hashtbl.t;
+  memo : (string, node) Hashtbl.t;
+  sentinel : node;  (* sentinel.next = MRU, sentinel.prev = LRU *)
+  mutable count : int;
+  mutable hit_count : int;
+  mutable miss_count : int;
+  mutable evict_count : int;
+}
+
+exception Miss
+
+let metric_hits = Obs.Metrics.counter "serve.cache.hits"
+let metric_misses = Obs.Metrics.counter "serve.cache.misses"
+let metric_evictions = Obs.Metrics.counter "serve.cache.evictions"
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Cache.create: capacity must be positive";
+  let rec sentinel = { key = ""; line = ""; raws = []; prev = sentinel; next = sentinel } in
+  {
+    cap = capacity;
+    table = Hashtbl.create (2 * capacity);
+    memo = Hashtbl.create (2 * capacity);
+    sentinel;
+    count = 0;
+    hit_count = 0;
+    miss_count = 0;
+    evict_count = 0;
+  }
+
+let unlink n =
+  n.prev.next <- n.next;
+  n.next.prev <- n.prev
+
+let push_front t n =
+  n.next <- t.sentinel.next;
+  n.prev <- t.sentinel;
+  t.sentinel.next.prev <- n;
+  t.sentinel.next <- n
+
+let touch t n =
+  if t.sentinel.next != n then begin
+    unlink n;
+    push_front t n
+  end
+
+let record_hit t =
+  t.hit_count <- t.hit_count + 1;
+  Obs.Metrics.incr_counter metric_hits
+
+let find t key =
+  match Hashtbl.find t.table key with
+  | n ->
+      touch t n;
+      record_hit t;
+      n.line
+  | exception Not_found ->
+      t.miss_count <- t.miss_count + 1;
+      Obs.Metrics.incr_counter metric_misses;
+      raise Miss
+
+let find_memo t raw =
+  match Hashtbl.find t.memo raw with
+  | n ->
+      touch t n;
+      record_hit t;
+      n.line
+  | exception Not_found -> raise Miss
+
+let evict_lru t =
+  let n = t.sentinel.prev in
+  if n != t.sentinel then begin
+    unlink n;
+    Hashtbl.remove t.table n.key;
+    List.iter (Hashtbl.remove t.memo) n.raws;
+    t.count <- t.count - 1;
+    t.evict_count <- t.evict_count + 1;
+    Obs.Metrics.incr_counter metric_evictions
+  end
+
+let insert t ~key ~line =
+  (match Hashtbl.find_opt t.table key with
+  | Some n ->
+      n.line <- line;
+      touch t n
+  | None ->
+      if t.count >= t.cap then evict_lru t;
+      let rec n = { key; line; raws = []; prev = n; next = n } in
+      Hashtbl.replace t.table key n;
+      push_front t n;
+      t.count <- t.count + 1)
+
+let memoize t ~raw ~key =
+  match Hashtbl.find_opt t.table key with
+  | None -> ()
+  | Some n ->
+      if not (Hashtbl.mem t.memo raw) then begin
+        Hashtbl.replace t.memo raw n;
+        n.raws <- raw :: n.raws
+      end
+
+let size t = t.count
+let capacity t = t.cap
+let hits t = t.hit_count
+let misses t = t.miss_count
+let evictions t = t.evict_count

@@ -1,0 +1,48 @@
+(** Bounded LRU response cache with an allocation-free hit path.
+
+    Two lookup levels back the daemon:
+
+    - a {e memo} table keyed on the raw request line, hit when a client
+      repeats a byte-identical query — the fast path the serve bench
+      measures and the Gc test pins to zero minor words;
+    - the main table keyed on {!Api.Fingerprint.of_request}, hit when a
+      semantically equal request arrives spelled differently (permuted
+      speeds, reordered JSON fields).  A fingerprint hit memoizes the
+      new spelling, so the next repeat takes the fast path.
+
+    Recency is an intrusive doubly-linked list threaded through the
+    nodes with a sentinel, so a hit is two hashtable probes at most and
+    a handful of pointer swaps — no allocation.  Eviction removes the
+    least recently used node from both tables.
+
+    Not thread-safe: only the daemon's accept loop mutates it. *)
+
+type t
+
+val create : capacity:int -> t
+(** Raises [Invalid_argument] when [capacity <= 0]. *)
+
+exception Miss
+
+val find : t -> string -> string
+(** [find t key] is the cached response line for fingerprint [key],
+    promoting the entry to most recently used.  Raises {!Miss} (a
+    constant — no allocation) otherwise.  Counts a hit or a miss. *)
+
+val find_memo : t -> string -> string
+(** Like {!find} but keyed on the raw request line.  A memo miss does
+    NOT count a miss (the caller falls through to {!find}). *)
+
+val insert : t -> key:string -> line:string -> unit
+(** Insert a response for fingerprint [key] as most recently used,
+    evicting the LRU entry when full.  Replaces any existing entry. *)
+
+val memoize : t -> raw:string -> key:string -> unit
+(** Bind raw request line [raw] to the node for [key] (no-op if the
+    key is absent), so future byte-identical repeats hit the memo. *)
+
+val size : t -> int
+val capacity : t -> int
+val hits : t -> int
+val misses : t -> int
+val evictions : t -> int

@@ -1,0 +1,27 @@
+type t = { fd : Unix.file_descr; ic : in_channel }
+
+let wrap fd = { fd; ic = Unix.in_channel_of_descr fd }
+
+let connect_unix path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  wrap fd
+
+let connect_tcp ?(host = "127.0.0.1") port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+  wrap fd
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let len = Bytes.length b in
+  let off = ref 0 in
+  while !off < len do
+    off := !off + Unix.write fd b !off (len - !off)
+  done
+
+let request t line =
+  write_all t.fd (line ^ "\n");
+  input_line t.ic
+
+let close t = try close_in t.ic with Sys_error _ -> ()

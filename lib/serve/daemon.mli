@@ -1,0 +1,26 @@
+(** The [nldl serve] accept loop: a line protocol over a Unix-domain
+    socket (and optionally TCP on localhost), one JSON request per
+    line, one canonical {!Api.Response} line back, in order.
+
+    All complete lines collected in one poll round form a batch for
+    {!Batch.handle_batch}, so concurrent clients share the pool fan-out
+    and the cache.  Control queries bypass the solver:
+
+    - [{"control":"ping"}] → [{"control":"pong"}]
+    - [{"control":"stats"}] → the {!Batch.stats_json} payload
+    - [{"control":"shutdown"}] → [{"control":"ok"}], then the daemon
+      drains, closes every socket, unlinks the path and returns. *)
+
+type config = {
+  socket_path : string;
+  tcp_port : int option;  (** also listen on 127.0.0.1:port ([--http]) *)
+  batch : Batch.config;
+}
+
+val default_socket_path : unit -> string
+(** [$TMPDIR/nldl-serve-<pid>.sock]. *)
+
+val run : ?pool:Exec.Pool.t -> ?on_ready:(unit -> unit) -> config -> Batch.t
+(** Bind, listen, call [on_ready], serve until a shutdown control line
+    (or [Exit]), then tear down and return the engine so the caller can
+    report final stats.  Raises [Unix.Unix_error] if binding fails. *)

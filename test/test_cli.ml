@@ -1,43 +1,37 @@
-(* The command-line grammar, evaluated in-process. *)
+(* The command-line grammar, evaluated in-process through the
+   documented programmatic entry [Cli.eval_for_test] — no argv arrays,
+   no dup2 plumbing of our own. *)
 
 let checkb = Alcotest.(check bool)
 
-(* Swallow the command's stdout so test output stays readable. *)
-let eval_quietly argv =
-  let dev_null = open_out (if Sys.win32 then "NUL" else "/dev/null") in
-  let saved = Unix.dup Unix.stdout in
-  flush stdout;
-  Unix.dup2 (Unix.descr_of_out_channel dev_null) Unix.stdout;
-  Fun.protect
-    ~finally:(fun () ->
-      flush stdout;
-      Unix.dup2 saved Unix.stdout;
-      Unix.close saved;
-      close_out dev_null)
-    (fun () -> Cli.eval_value ~argv)
-
-let expect_ok argv =
-  match eval_quietly argv with
-  | Ok (`Ok ()) -> ()
-  | Ok `Help | Ok `Version -> ()
+let expect_ok args =
+  match Cli.eval_for_test args with
+  | Ok _ -> ()
   | Error e ->
       Alcotest.failf "command failed (%s): %s"
         (match e with `Exn -> "exception" | `Parse -> "parse" | `Term -> "term")
-        (String.concat " " (Array.to_list argv))
+        (String.concat " " args)
 
-let expect_parse_error argv =
+let expect_out args =
+  match Cli.eval_for_test args with
+  | Ok { Cli.status = 0; out } -> out
+  | Ok { Cli.status; _ } ->
+      Alcotest.failf "exit %d: %s" status (String.concat " " args)
+  | Error _ -> Alcotest.failf "command failed: %s" (String.concat " " args)
+
+let expect_parse_error args =
   (* Cmdliner reports unknown sub-commands as `Term errors and malformed
      options as `Parse errors; both are rejections. *)
-  match eval_quietly argv with
+  match Cli.eval_for_test args with
   | Error (`Parse | `Term) -> ()
   | Ok _ | Error `Exn ->
-      Alcotest.failf "expected parse error: %s" (String.concat " " (Array.to_list argv))
+      Alcotest.failf "expected parse error: %s" (String.concat " " args)
 
-let test_version () = expect_ok [| "nldl"; "--version" |]
-let test_help () = expect_ok [| "nldl"; "--help=plain" |]
-let test_subcommand_help () = expect_ok [| "nldl"; "fig4"; "--help=plain" |]
+let test_version () = expect_ok [ "--version" ]
+let test_help () = expect_ok [ "--help=plain" ]
+let test_subcommand_help () = expect_ok [ "fig4"; "--help=plain" ]
 
-let test_partition_runs () = expect_ok [| "nldl"; "partition"; "--speeds"; "1,2,4" |]
+let test_partition_runs () = expect_ok [ "partition"; "--speeds"; "1,2,4" ]
 
 let test_partition_platform_file () =
   let path = Filename.temp_file "nldl" ".platform" in
@@ -45,34 +39,34 @@ let test_partition_platform_file () =
     ~finally:(fun () -> Sys.remove path)
     (fun () ->
       Out_channel.with_open_text path (fun oc -> output_string oc "1 2\n3 4\n");
-      expect_ok [| "nldl"; "partition"; "--platform"; path |])
+      expect_ok [ "partition"; "--platform"; path ])
 
 let test_fig4_small_run () =
-  expect_ok [| "nldl"; "fig4"; "--trials"; "2"; "-p"; "10"; "--profile"; "homogeneous" |]
+  expect_ok [ "fig4"; "--trials"; "2"; "-p"; "10"; "--profile"; "homogeneous" ]
 
 let test_fig4_csv () =
   let path = Filename.temp_file "nldl" ".csv" in
   Fun.protect
     ~finally:(fun () -> Sys.remove path)
     (fun () ->
-      expect_ok
-        [| "nldl"; "fig4"; "--trials"; "2"; "-p"; "10"; "--csv"; path |];
+      expect_ok [ "fig4"; "--trials"; "2"; "-p"; "10"; "--csv"; path ];
       let ic = open_in path in
       let header = input_line ic in
       close_in ic;
       checkb "csv written" true (String.length header > 0))
 
 let test_faults_json () =
-  (* The registry-built faults command emits parseable JSON rows. *)
+  (* The registry-built faults command emits the Api.Response envelope
+     with the experiment's rows. *)
   let path = Filename.temp_file "nldl" ".json" in
   Fun.protect
     ~finally:(fun () -> Sys.remove path)
     (fun () ->
       expect_ok
-        [|
-          "nldl"; "faults"; "--trials"; "2"; "--crash-rates"; "0.5"; "--sigmas"; "0.5";
+        [
+          "faults"; "--trials"; "2"; "--crash-rates"; "0.5"; "--sigmas"; "0.5";
           "--tasks"; "8"; "--json"; path;
-        |];
+        ];
       let doc = In_channel.with_open_text path In_channel.input_all in
       match Obs.Json.of_string doc with
       | Error msg -> Alcotest.failf "invalid JSON: %s" msg
@@ -80,20 +74,45 @@ let test_faults_json () =
           checkb "has rows" true
             (match Obs.Json.member "rows" json with
             | Some (Obs.Json.List (_ :: _)) -> true
-            | _ -> false))
+            | _ -> false);
+          checkb "carries the envelope version" true
+            (Obs.Json.member "schema_version" json
+            = Some (Obs.Json.Int Api.Response.schema_version)))
 
-let test_nonlinear_runs () =
-  expect_ok [| "nldl"; "nonlinear"; "--alpha"; "2"; "-p"; "2,4" |]
+let test_nonlinear_runs () = expect_ok [ "nonlinear"; "--alpha"; "2"; "-p"; "2,4" ]
 
-let test_ratio_runs () = expect_ok [| "nldl"; "ratio"; "-k"; "4"; "-p"; "6" |]
+let test_ratio_runs () = expect_ok [ "ratio"; "-k"; "4"; "-p"; "6" ]
 
-let test_unknown_command () = expect_parse_error [| "nldl"; "frobnicate" |]
-let test_bad_profile () =
-  expect_parse_error [| "nldl"; "fig4"; "--profile"; "warp-speed" |]
-let test_bad_number () = expect_parse_error [| "nldl"; "fig4"; "--trials"; "many" |]
+let test_query_inline () =
+  let out =
+    expect_out
+      [ "query"; "--inline"; {|{"kind":"ratio","platform":{"speeds":[1,2]},"total":4}|} ]
+  in
+  match Obs.Json.of_string (String.trim out) with
+  | Error msg -> Alcotest.failf "query emitted invalid JSON: %s" msg
+  | Ok j -> (
+      match Api.Response.of_json j with
+      | Ok r -> checkb "not an error" false (Api.Response.is_error r)
+      | Error msg -> Alcotest.failf "not a response envelope: %s" msg)
 
-let test_verbose_accepted () =
-  expect_ok [| "nldl"; "partition"; "--speeds"; "1,2"; "-v" |]
+let test_query_file () =
+  let path = Filename.temp_file "nldl" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Out_channel.with_open_text path (fun oc ->
+          output_string oc
+            ("{\"kind\":\"plan\",\"platform\":{\"speeds\":[1,2,4]}}\n"
+            ^ "{\"kind\":\"ratio\",\"platform\":{\"speeds\":[2,2]}}\n"));
+      let out = expect_out [ "query"; path ] in
+      let lines = String.split_on_char '\n' (String.trim out) in
+      Alcotest.(check int) "one answer per line" 2 (List.length lines))
+
+let test_unknown_command () = expect_parse_error [ "frobnicate" ]
+let test_bad_profile () = expect_parse_error [ "fig4"; "--profile"; "warp-speed" ]
+let test_bad_number () = expect_parse_error [ "fig4"; "--trials"; "many" ]
+
+let test_verbose_accepted () = expect_ok [ "partition"; "--speeds"; "1,2"; "-v" ]
 
 let suites =
   [
@@ -109,6 +128,8 @@ let suites =
         Alcotest.test_case "faults json" `Quick test_faults_json;
         Alcotest.test_case "nonlinear" `Quick test_nonlinear_runs;
         Alcotest.test_case "ratio" `Quick test_ratio_runs;
+        Alcotest.test_case "query --inline" `Quick test_query_inline;
+        Alcotest.test_case "query from file" `Quick test_query_file;
         Alcotest.test_case "unknown command" `Quick test_unknown_command;
         Alcotest.test_case "bad profile" `Quick test_bad_profile;
         Alcotest.test_case "bad number" `Quick test_bad_number;

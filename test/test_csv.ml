@@ -1,0 +1,57 @@
+(* Csv_out: RFC-4180 quoting audit.  The writer and the new parser must
+   be exact inverses for arbitrary field contents — commas, quotes,
+   embedded newlines, CR, empty fields. *)
+
+let field_gen =
+  (* Bias towards the characters that exercise the quoting rules. *)
+  QCheck.Gen.(
+    string_size ~gen:(oneofl [ 'a'; 'b'; ','; '"'; '\n'; '\r'; ' '; 'x' ]) (0 -- 8))
+
+let table_gen =
+  QCheck.Gen.(
+    1 -- 4 >>= fun width ->
+    let row = list_repeat width field_gen in
+    pair row (list_size (0 -- 5) row))
+
+let table_arb =
+  QCheck.make table_gen ~print:(fun (header, rows) ->
+      String.concat " | " (List.map (String.concat ",") (header :: rows)))
+
+let qcheck_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"parse inverts to_string" table_arb
+    (fun (header, rows) ->
+      match Experiments.Csv_out.parse (Experiments.Csv_out.to_string ~header ~rows) with
+      | Ok parsed -> parsed = header :: rows
+      | Error _ -> false)
+
+let test_known_tricky_fields () =
+  let header = [ "a,b"; "he said \"hi\""; "line\nbreak" ] in
+  let rows = [ [ ""; ","; "\"\"" ]; [ "\r\n"; "plain"; "trailing\n" ] ] in
+  let s = Experiments.Csv_out.to_string ~header ~rows in
+  Alcotest.(check bool) "round-trips" true
+    (Experiments.Csv_out.parse s = Ok (header :: rows))
+
+let test_parse_rejects_garbage () =
+  (match Experiments.Csv_out.parse "\"unterminated" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unterminated quote accepted");
+  match Experiments.Csv_out.parse "ab\"cd\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "stray quote accepted"
+
+let test_parse_bare_csv () =
+  (* Hand-written CSV without a trailing newline still parses. *)
+  Alcotest.(check bool) "bare" true
+    (Experiments.Csv_out.parse "a,b\n1,2\r\n3,4"
+    = Ok [ [ "a"; "b" ]; [ "1"; "2" ]; [ "3"; "4" ] ])
+
+let suites =
+  [
+    ( "csv",
+      [
+        QCheck_alcotest.to_alcotest qcheck_roundtrip;
+        Alcotest.test_case "tricky fields" `Quick test_known_tricky_fields;
+        Alcotest.test_case "garbage rejected" `Quick test_parse_rejects_garbage;
+        Alcotest.test_case "bare csv" `Quick test_parse_bare_csv;
+      ] );
+  ]

@@ -171,6 +171,21 @@ let h_rules =
     Alcotest.test_case "H307 binding allow suppresses" `Quick
       (check_clean ~rule:"H307" ~file:"lib/des/x.ml"
          "let hist_oracle = Array.make 8 0 [@@nldl.allow \"H307\"]");
+    Alcotest.test_case "H308 hand-rolled Json.Obj in experiments" `Quick
+      (check_fires "H308" ~file:"lib/experiments/foo.ml"
+         "let j rows = Obs.Json.Obj [ (\"rows\", Obs.Json.List rows) ]");
+    Alcotest.test_case "H308 aliased Json constructor too" `Quick
+      (check_fires "H308" ~file:"lib/experiments/foo.ml"
+         "let j rows = Json.List rows");
+    Alcotest.test_case "H308 silent in registry.ml" `Quick
+      (check_clean ~rule:"H308" ~file:"lib/experiments/registry.ml"
+         "let j = Obs.Json.Obj []");
+    Alcotest.test_case "H308 silent outside experiments" `Quick
+      (check_clean ~rule:"H308" ~file:"lib/des/x.ml"
+         "let j = Obs.Json.Obj []");
+    Alcotest.test_case "H308 binding allow suppresses" `Quick
+      (check_clean ~rule:"H308" ~file:"lib/experiments/foo.ml"
+         "let j = Obs.Json.Obj [] [@@nldl.allow \"H308\"]");
     Alcotest.test_case "X001 unknown nldl attribute" `Quick
       (check_fires "X001" ~file:"lib/des/x.ml"
          "[@@@nldl.unsfe_zone \"typo\"]\nlet x = 1");
