@@ -52,6 +52,13 @@ let check_overhead = flag_present "--check-overhead"
    cancels out. *)
 let check_serve = flag_present "--check-serve-throughput"
 
+(* [--check-lint-time]: gate the lint_time section — the two-phase
+   pipeline (callgraph + escape + R-rules) must cost <= 2x the PR-5
+   per-file baseline on a cold cache, and a warm cache must replay
+   phase 1 at >= 5x the cold rate.  Both are ratios of timings taken in
+   this very process, so machine speed cancels out. *)
+let check_lint_time = flag_present "--check-lint-time"
+
 let throughput_baseline =
   match check_throughput_path with
   | None -> None
@@ -783,6 +790,111 @@ let check_overhead_gate obs_overhead =
         List.iter (fun f -> Printf.printf "  REGRESSION %s\n%!" f) failures;
         false
 
+(* --- lint time: two-phase pipeline vs per-file baseline --------------- *)
+
+(* Three driver runs over the committed tree: the PR-5 per-file
+   behaviour (no callgraph, no cache), the full two-phase pipeline on a
+   cold cache, and a rerun against the warm cache.  The interprocedural
+   layer's whole cost budget is "parse dominates": linking fragments and
+   walking the escape set must stay within one extra parse pass, and the
+   cache must make reruns cheap enough for a pre-commit hook. *)
+let report_lint_time () =
+  Printf.printf
+    "\n-- lint time (per-file baseline vs two-phase, cold vs warm cache) --\n%!";
+  let rec find_root dir =
+    if
+      Sys.file_exists (Filename.concat dir "dune-project")
+      && Sys.file_exists (Filename.concat dir "lib")
+    then Some dir
+    else
+      let parent = Filename.dirname dir in
+      if parent = dir then None else find_root parent
+  in
+  match find_root (Sys.getcwd ()) with
+  | None ->
+      Printf.printf "repo root not found; section skipped\n%!";
+      Obs.Json.Null
+  | Some root ->
+      (* A fresh directory per run keeps the cold measurement honest
+         even when a developer cache exists; Cache creates it on first
+         store. *)
+      let cache_dir = Filename.temp_file "nldl-lint-bench" "" in
+      Sys.remove cache_dir;
+      let time f =
+        let t0 = Obs.Clock.now_ns () in
+        let r = f () in
+        (r, Obs.Clock.ns_to_s (Obs.Clock.now_ns () - t0))
+      in
+      let run ~use_cache ~interproc () =
+        Lint.Driver.run ~root ~roots:[ "lib"; "bin" ] ~cache_dir ~use_cache
+          ~interproc ()
+      in
+      let baseline, per_file_s = time (run ~use_cache:false ~interproc:false) in
+      let cold, cold_s = time (run ~use_cache:true ~interproc:true) in
+      let warm, warm_s = time (run ~use_cache:true ~interproc:true) in
+      (let rec rm p =
+         if Sys.is_directory p then begin
+           Array.iter (fun e -> rm (Filename.concat p e)) (Sys.readdir p);
+           Unix.rmdir p
+         end
+         else Sys.remove p
+       in
+       if Sys.file_exists cache_dir then rm cache_dir);
+      let full_over_per_file = cold_s /. per_file_s in
+      let cold_over_warm = cold_s /. warm_s in
+      Printf.printf
+        "per-file %.0f ms, two-phase cold %.0f ms (%.2fx), warm %.0f ms \
+         (%.1fx faster; %d hit, %d miss) over %d files\n%!"
+        (per_file_s *. 1e3) (cold_s *. 1e3) full_over_per_file (warm_s *. 1e3)
+        cold_over_warm warm.Lint.Driver.cache_hits warm.Lint.Driver.cache_misses
+        cold.Lint.Driver.files;
+      assert (warm.Lint.Driver.cache_misses = 0);
+      assert (Lint.Callgraph.node_count cold.Lint.Driver.graph > 0);
+      ignore baseline;
+      Obs.Json.Obj
+        [
+          ("files", Obs.Json.Int cold.Lint.Driver.files);
+          ("graph_nodes", Obs.Json.Int (Lint.Callgraph.node_count cold.Lint.Driver.graph));
+          ("per_file_seconds", Obs.Json.Float per_file_s);
+          ("cold_seconds", Obs.Json.Float cold_s);
+          ("warm_seconds", Obs.Json.Float warm_s);
+          ("full_over_per_file", Obs.Json.Float full_over_per_file);
+          ("cold_over_warm", Obs.Json.Float cold_over_warm);
+        ]
+
+let check_lint_time_gate lint_json =
+  if not check_lint_time then true
+  else
+    let num k =
+      match Obs.Json.member k lint_json with
+      | Some (Obs.Json.Float f) -> f
+      | Some (Obs.Json.Int i) -> float_of_int i
+      | _ -> nan
+    in
+    let full = num "full_over_per_file" in
+    let speedup = num "cold_over_warm" in
+    let failures = ref [] in
+    if not (full <= 2.) then
+      failures :=
+        Printf.sprintf "two-phase pipeline costs %.2fx > 2x per-file baseline"
+          full
+        :: !failures;
+    if not (speedup >= 5.) then
+      failures :=
+        Printf.sprintf "warm cache only %.1fx faster than cold < 5x floor"
+          speedup
+        :: !failures;
+    match List.rev !failures with
+    | [] ->
+        Printf.printf
+          "\nLint time check: OK (two-phase %.2fx per-file, warm %.1fx cold)\n%!"
+          full speedup;
+        true
+    | failures ->
+        Printf.printf "\nLint time check: FAILED\n%!";
+        List.iter (fun f -> Printf.printf "  REGRESSION %s\n%!" f) failures;
+        false
+
 (* Hard gate on the DES core: (a) the heap must hold a >= 4x (10k) and
    >= 6x (1M, the scale this core exists for) throughput lead over the
    boxed queue measured in this very run — ratios of two timings from
@@ -1146,6 +1258,7 @@ let () =
   let obs_overhead, best_mr_seconds = report_obs_overhead () in
   let des_throughput = report_des_throughput ~best_mr_seconds () in
   let serve_throughput = report_serve_throughput () in
+  let lint_time = report_lint_time () in
   let alloc_measured, allocations = report_allocations () in
   (match write_alloc_path with
   | Some path -> write_alloc_baseline path alloc_measured
@@ -1174,6 +1287,7 @@ let () =
          ("fig4_scaling", fig4_scaling);
          ("des_throughput", des_throughput);
          ("serve_throughput", serve_throughput);
+         ("lint_time", lint_time);
          ("obs_overhead", obs_overhead);
          ("allocations", allocations);
        ]
@@ -1198,5 +1312,7 @@ let () =
   let throughput_ok = check_throughput des_throughput in
   let serve_ok = check_serve_gate serve_throughput in
   let overhead_ok = check_overhead_gate obs_overhead in
+  let lint_ok = check_lint_time_gate lint_time in
   Printf.printf "\nDone.\n%!";
-  if not (alloc_ok && throughput_ok && serve_ok && overhead_ok) then exit 1
+  if not (alloc_ok && throughput_ok && serve_ok && overhead_ok && lint_ok) then
+    exit 1

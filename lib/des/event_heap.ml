@@ -74,7 +74,10 @@ let clear t =
 (* (prio, seq) lexicographic order, split into two comparisons so the
    common unequal-priority case never touches the seq words. *)
 
-let sift_up t i0 =
+(* [i0 < t.size] is the callers' invariant: [push] grows first and
+   passes the slot it just filled; [relocate_last] passes a hole index
+   the walk kept inside the heap. *)
+let[@nldl.bounds_validated "Event_heap.push"] sift_up t i0 =
   let prio = t.prio and meta = t.meta in
   let p = Array.unsafe_get prio i0 in
   let s = Array.unsafe_get meta (2 * i0) in
@@ -104,7 +107,7 @@ let sift_up t i0 =
    branch per level cheaper than the classic sift-down.  The pop order
    is unaffected: every delete-min returns the global minimum of a
    unique-(prio, seq) key set, whatever the internal arrangement. *)
-let sift_hole_down t =
+let[@nldl.bounds_validated "Event_heap.pop"] sift_hole_down t =
   let prio = t.prio and meta = t.meta in
   let n = t.size in
   let i = ref 0 in
@@ -171,7 +174,7 @@ let[@inline always] push t ~priority payload =
    element (slot [n], already outside [t.size]) into it, and call
    [sift_up] only when the single inlined parent check says the element
    overshot — which is rare, since it came from a leaf. *)
-let relocate_last t n =
+let[@nldl.bounds_validated "Event_heap.pop"] relocate_last t n =
   let hole = sift_hole_down t in
   let prio = t.prio and meta = t.meta in
   let p = Array.unsafe_get prio n in

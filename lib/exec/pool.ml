@@ -13,6 +13,12 @@
    disabled the per-submission overhead is two clock reads and a few
    plain stores — no allocation. *)
 
+(* R403 flags blocking waits in pool-escaping code, but this file IS the
+   pool runtime: worker parking (Mutex.lock + Condition.wait) and the
+   completion rendezvous in [parallel_for] are the scheduler itself, not
+   work that stalls it. *)
+[@@@nldl.allow "R403"]
+
 (* Per-participant counters.  One record per domain slot (slot 0 is the
    submitting domain, then one per worker); the seven mutable fields
    plus the header fill a 64-byte cache line, so two slots never share
@@ -442,7 +448,10 @@ let global : t option ref = ref None
                          never call get_global, and pool creation/growth happens
                          before any parallel section runs *)
 
-let get_global ?(at_least = 1) () =
+(* R401: [global :=] below shares the [global] binding's audit — pool
+   creation/growth happens on the orchestrating domain before any
+   parallel section runs, never from a worker. *)
+let[@nldl.allow "R401"] get_global ?(at_least = 1) () =
   match !global with
   | Some pool ->
       if at_least > size pool then ensure pool ~domains:at_least;

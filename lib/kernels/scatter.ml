@@ -109,7 +109,11 @@ let partition ?(cmp = compare) keys ~splitters =
     { data; offsets }
   end
 
-let partition_floats (keys : float array) ~(splitters : float array) =
+(* Cursor targets stay inside [data]: [exclusive_prefix] turns the
+   histogram into bucket starts summing to [n], and each bucket's cursor
+   advances exactly its count times. *)
+let[@nldl.bounds_validated "Scatter.exclusive_prefix"] partition_floats
+    (keys : float array) ~(splitters : float array) =
   let n = Array.length keys in
   let p = Array.length splitters + 1 in
   if n = 0 then empty_result ~p
@@ -195,7 +199,11 @@ let partition_pool ?(cmp = compare) ?workers pool keys ~splitters =
     end
   end
 
-let partition_floats_pool ?workers pool (keys : float array) ~(splitters : float array) =
+(* Per-slice cursor bases come from [merge_cursors] (global exclusive
+   prefix over the slice histograms), so every [base + !lo] write lands
+   in that slice's disjoint span of [data]. *)
+let[@nldl.bounds_validated "Scatter.merge_cursors"] partition_floats_pool
+    ?workers pool (keys : float array) ~(splitters : float array) =
   let n = Array.length keys in
   let p = Array.length splitters + 1 in
   if n = 0 then empty_result ~p

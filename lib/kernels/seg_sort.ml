@@ -163,7 +163,10 @@ let heapsort_f (data : float array) lo hi =
     sift 0 (last - 1)
   done
 
-let rec intro_f (data : float array) lo hi depth =
+(* [mid] ∈ [lo, hi) and [lo, hi) ⊆ [0, length data): the public entry
+   runs [check_bounds] once, and recursion only narrows the segment. *)
+let[@nldl.bounds_validated "Seg_sort.check_bounds"] rec intro_f
+    (data : float array) lo hi depth =
   if hi - lo <= 16 then insertion_f data lo hi
   else if depth <= 0 then heapsort_f data lo hi
   else begin

@@ -5,7 +5,7 @@
 
 type stats = { per_worker : int array; total : int; result : Matrix.t }
 
-let distributed ~zones a b =
+let[@nldl.bounds_validated "Zone.validate_tiling"] distributed ~zones a b =
   let n = Matrix.rows a in
   if Matrix.cols a <> n || Matrix.rows b <> n || Matrix.cols b <> n then
     invalid_arg "Matmul.distributed: square n x n matrices required";

@@ -20,7 +20,10 @@ let create ~rows ~cols =
   if rows <= 0 || cols <= 0 then invalid_arg "Matrix.create: non-positive dimensions";
   { rows; cols; data = Fbuf.create (rows * cols) }
 
-let init ~rows ~cols f =
+(* The flat stores below hold exactly rows*cols floats by construction
+   ([create] / local [Fbuf.create]), and every [i*cols + j] offset stays
+   under that product because i/j are loop-bounded by the same dims. *)
+let[@nldl.bounds_validated "Matrix.create"] init ~rows ~cols f =
   let m = create ~rows ~cols in
   for i = 0 to rows - 1 do
     for j = 0 to cols - 1 do
@@ -73,7 +76,7 @@ let scale s m =
   done;
   { m with data }
 
-let transpose m =
+let[@nldl.bounds_validated "Fbuf.create"] transpose m =
   let rows = m.cols and cols = m.rows in
   let src = m.data in
   let data = Fbuf.create (rows * cols) in
@@ -84,7 +87,7 @@ let transpose m =
   done;
   { rows; cols; data }
 
-let mul a b =
+let[@nldl.bounds_validated "Matrix.create"] mul a b =
   if a.cols <> b.rows then invalid_arg "Matrix.mul: inner dimension mismatch";
   let c = create ~rows:a.rows ~cols:b.cols in
   let ad = a.data and bd = b.data and cd = c.data in
@@ -133,7 +136,7 @@ let mul_blocked ?(block = 32) a b =
   done;
   c
 
-let outer a b =
+let[@nldl.bounds_validated "Fbuf.create"] outer a b =
   let rows = Array.length a and cols = Array.length b in
   if rows = 0 || cols = 0 then invalid_arg "Matrix.outer: empty vector";
   let data = Fbuf.create (rows * cols) in

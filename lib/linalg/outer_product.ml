@@ -9,7 +9,7 @@ type stats = { per_worker : int array; total : int; result : Matrix.t }
 
 let sequential a b = Matrix.outer a b
 
-let distributed ~zones a b =
+let[@nldl.bounds_validated "Zone.validate_tiling"] distributed ~zones a b =
   let n = Array.length a in
   if Array.length b <> n then invalid_arg "Outer_product.distributed: |a| <> |b|";
   (match Zone.validate_tiling ~n zones with
@@ -36,7 +36,8 @@ let distributed ~zones a b =
   in
   { per_worker; total = Array.fold_left ( + ) 0 per_worker; result }
 
-let demand_driven_blocks ?(dedup = false) (schedule : Partition.Block_hom.result) ~n_side a b =
+let[@nldl.bounds_validated "Matrix.create"] demand_driven_blocks ?(dedup = false)
+    (schedule : Partition.Block_hom.result) ~n_side a b =
   let n = Array.length a in
   if Array.length b <> n then invalid_arg "Outer_product.demand_driven_blocks: |a| <> |b|";
   if n_side <= 0 || n mod n_side <> 0 then

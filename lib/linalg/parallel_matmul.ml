@@ -5,7 +5,7 @@ module Fbuf = Kernels.Fbuf
    are clamped to rows/inner/cols, so the blocked kernel stays inside the \
    row-major stores (U-audit 2026-08)"]
 
-let multiply ?domains ?(block = 32) a b =
+let[@nldl.bounds_validated "Matrix.create"] multiply ?domains ?(block = 32) a b =
   if Matrix.cols a <> Matrix.rows b then
     invalid_arg "Parallel_matmul.multiply: inner dimension mismatch";
   if block <= 0 then invalid_arg "Parallel_matmul.multiply: block must be > 0";

@@ -24,7 +24,8 @@ let grid_zones ~grid_rows ~grid_cols ~n =
     rows;
   Array.of_list (List.rev !zones)
 
-let distributed ~grid_rows ~grid_cols ~panel a b =
+let[@nldl.bounds_validated "Zone.validate_tiling"] distributed ~grid_rows
+    ~grid_cols ~panel a b =
   if grid_rows <= 0 || grid_cols <= 0 then invalid_arg "Summa.distributed: bad grid";
   let n = Matrix.rows a in
   if Matrix.cols a <> n || Matrix.rows b <> n || Matrix.cols b <> n then

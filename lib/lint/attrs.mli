@@ -34,5 +34,8 @@ val empty_marks : file_marks
 val allows : Parsetree.attributes -> string list
 (** Rule ids named by [[\@nldl.allow ...]] attributes in the list. *)
 
+val string_payload : Parsetree.attribute -> string option
+(** First non-empty string constant of the payload, if any. *)
+
 val file_marks : Parsetree.structure -> file_marks
 (** Scan a structure's floating attributes ([[\@\@\@...]] items). *)

@@ -1,0 +1,18 @@
+(** Digest-keyed on-disk cache for phase-1 lint results.
+
+    Keyed by {!Source.digest} (path + content); the directory name
+    embeds a format version and a stamp of the running executable, so
+    rebuilding the linter invalidates every entry and incompatible
+    [Marshal] layouts can never be read back.  All I/O failures degrade
+    to cache misses. *)
+
+type payload = {
+  p_findings : Finding.t list;  (** per-file (phase 1) findings *)
+  p_fragment : Callgraph.fragment;
+}
+
+val default_dir : unit -> string
+(** Under the system temp dir; stable across runs of one binary. *)
+
+val load : dir:string -> digest:string -> payload option
+val store : dir:string -> digest:string -> payload -> unit

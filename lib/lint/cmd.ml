@@ -36,6 +36,27 @@ let json_out ~name =
     & info [ name ] ~docv:"FILE"
         ~doc:"Write the findings as JSON to $(docv) (\"-\" = stdout).")
 
+let graph_json_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "graph-json" ] ~docv:"FILE"
+        ~doc:
+          "Write the call-graph/escape-set artifact to $(docv) (\"-\" = \
+           stdout).")
+
+let no_cache =
+  Arg.(
+    value & flag
+    & info [ "no-cache" ] ~doc:"Disable the digest-keyed phase-1 cache.")
+
+let cache_dir =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache-dir" ] ~docv:"DIR"
+        ~doc:"Phase-1 cache directory (default: under the system temp dir).")
+
 let rules_flag =
   Arg.(value & flag & info [ "rules" ] ~doc:"List the rule catalog and exit.")
 
@@ -44,14 +65,16 @@ let print_rules () =
     (fun (id, synopsis) -> Printf.printf "%-5s %s\n" id synopsis)
     Rules.catalog
 
-let execute root dirs baseline update json_out rules () =
+let execute root dirs baseline update json_out graph_json_out no_cache cache_dir
+    rules () =
   if rules then begin
     print_rules ();
     { header = [ "rule"; "synopsis" ]; rows = []; out_json = Obs.Json.Null; status = 0 }
   end
   else begin
     let r =
-      Driver.run ~root ~roots:dirs ~baseline_file:baseline ~update_baseline:update ()
+      Driver.run ~root ~roots:dirs ~baseline_file:baseline ~update_baseline:update
+        ?cache_dir ~use_cache:(not no_cache) ()
     in
     print_string (Driver.render r);
     let j = Driver.json r in
@@ -61,6 +84,12 @@ let execute root dirs baseline update json_out rules () =
     | Some path ->
         Obs.Json.write_file path j;
         Printf.eprintf "Lint findings written to %s\n%!" path);
+    (match graph_json_out with
+    | None -> ()
+    | Some "-" -> print_string (Obs.Json.to_string (Driver.graph_json r))
+    | Some path ->
+        Obs.Json.write_file path (Driver.graph_json r);
+        Printf.eprintf "Call graph written to %s\n%!" path);
     {
       header = [ "rule"; "file"; "line"; "col"; "message" ];
       rows =
@@ -76,7 +105,7 @@ let execute root dirs baseline update json_out rules () =
 let make_thunk_term ~json_flag =
   Term.(
     const execute $ root $ dirs $ baseline $ update $ json_out ~name:json_flag
-    $ rules_flag)
+    $ graph_json_out $ no_cache $ cache_dir $ rules_flag)
 
 let thunk_term = make_thunk_term ~json_flag:"json"
 
@@ -86,7 +115,7 @@ let thunk_term = make_thunk_term ~json_flag:"json"
 let embedded_term = make_thunk_term ~json_flag:"lint-json"
 
 let command =
-  let doc = "Static invariant checker for the nldl tree (D/U/S/H rules)" in
+  let doc = "Static invariant checker for the nldl tree (D/U/S/H/R rules)" in
   let man =
     [
       `S Manpage.s_description;
@@ -94,8 +123,10 @@ let command =
         "Parses every .ml/.mli under the given directories with compiler-libs \
          and enforces the project invariants: determinism (D-rules), audited \
          unsafe zones (U-rules), domain safety of pool-executed libraries \
-         (S-rules) and hygiene (H-rules).  Exits 1 when a finding is not \
-         absorbed by the committed baseline.";
+         (S-rules), hygiene (H-rules), and the interprocedural race / \
+         proof-obligation / blocking-call rules (R-rules) over a whole-program \
+         call graph.  Exits 1 when a finding is not absorbed by the committed \
+         baseline.";
     ]
   in
   Cmd.v

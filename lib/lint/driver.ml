@@ -68,56 +68,70 @@ let mark_findings ~file ~(marks : Attrs.file_marks) ~unsafe_sites =
           ~message:
             (Printf.sprintf
                "unknown attribute [%s]; known: nldl.allow, nldl.unsafe_zone, \
-                nldl.domain_safe"
+                nldl.domain_safe, nldl.bounds_validated"
                name))
       marks.unknown
 
-let lint_lexbuf ~file lexbuf =
-  lexbuf.Lexing.lex_curr_p <-
-    { Lexing.pos_fname = file; pos_lnum = 1; pos_bol = 0; pos_cnum = 0 };
+(* Phase 1 for one unit: per-file rules + call-graph fragment.  Pure in
+   the source (path + content), which is what makes it cacheable. *)
+let lint_source (src : Source.t) : Finding.t list * Callgraph.fragment =
+  let file = src.Source.file in
   let findings = ref [] in
   let emit f = findings := f :: !findings in
-  if Filename.check_suffix file ".mli" then begin
-    (* Interfaces carry no expressions the D/U/S/H rules look at, but a
-       parse failure is still a finding, and walking keeps any future
-       signature-level rules wired. *)
-    match Parse.interface lexbuf with
-    | exception e ->
-        [
-          Finding.make ~rule:"E000" ~file ~line:1 ~col:0
-            ~message:("interface failed to parse: " ^ Printexc.to_string e);
-        ]
-    | sg ->
-        let marks = Attrs.empty_marks in
-        let scope = scope_of ~file ~marks ~emit in
-        let it = iterator scope in
-        it.signature it sg;
-        List.rev !findings
-  end
-  else
-    match Parse.implementation lexbuf with
-    | exception e ->
-        [
-          Finding.make ~rule:"E000" ~file ~line:1 ~col:0
-            ~message:("failed to parse: " ^ Printexc.to_string e);
-        ]
-    | str ->
-        let marks = Attrs.file_marks str in
-        let scope = scope_of ~file ~marks ~emit in
-        let it = iterator scope in
-        it.structure it str;
-        mark_findings ~file ~marks ~unsafe_sites:scope.unsafe_sites
-        @ List.rev !findings
+  match Source.parse src with
+  | Source.Parse_error msg ->
+      let what =
+        match src.Source.kind with
+        | Source.Intf -> "interface failed to parse: "
+        | Source.Impl -> "failed to parse: "
+      in
+      ( [ Finding.make ~rule:"E000" ~file ~line:1 ~col:0 ~message:(what ^ msg) ],
+        Callgraph.empty_fragment ~file )
+  | Source.Signature sg ->
+      (* Interfaces carry no expressions the D/U/S/H rules look at, but
+         walking keeps any future signature-level rules wired. *)
+      let marks = Attrs.empty_marks in
+      let scope = scope_of ~file ~marks ~emit in
+      let it = iterator scope in
+      it.signature it sg;
+      (List.rev !findings, Callgraph.empty_fragment ~file)
+  | Source.Structure str ->
+      let marks = Attrs.file_marks str in
+      let scope = scope_of ~file ~marks ~emit in
+      let it = iterator scope in
+      it.structure it str;
+      ( mark_findings ~file ~marks ~unsafe_sites:scope.unsafe_sites
+        @ List.rev !findings,
+        Callgraph.extract ~file ~marks str )
 
-let lint_string ~file src = lint_lexbuf ~file:(normalize file) (Lexing.from_string src)
+(* Phase 2: link fragments, close over parallel escapes, run R401-403. *)
+let analyze_fragments frags =
+  let graph = Callgraph.build frags in
+  let esc = Escape.compute graph in
+  (graph, esc, Interproc.findings graph esc)
+
+let analyze_strings units =
+  let per_unit =
+    List.map
+      (fun (file, src) -> lint_source (Source.of_string ~file:(normalize file) src))
+      units
+  in
+  let graph, esc, inter = analyze_fragments (List.map snd per_unit) in
+  ( graph,
+    esc,
+    List.sort Finding.compare (List.concat_map fst per_unit @ inter) )
+
+let lint_strings units =
+  let _, _, findings = analyze_strings units in
+  findings
+
+let lint_string ~file src = lint_strings [ (file, src) ]
 
 let lint_file ~root rel =
-  let path = Filename.concat root rel in
-  let ic = open_in_bin path in
-  let n = in_channel_length ic in
-  let src = really_input_string ic n in
-  close_in ic;
-  lint_string ~file:rel src
+  let src = Source.read ~root (normalize rel) in
+  let local, frag = lint_source src in
+  let _, _, inter = analyze_fragments [ frag ] in
+  List.sort Finding.compare (local @ inter)
 
 (* --- tree walk ---------------------------------------------------------- *)
 
@@ -169,14 +183,47 @@ type result = {
   resolved : string list;
   baseline_path : string;
   updated : bool;
+  graph : Callgraph.t;
+  escape : Escape.t;
+  cache_hits : int;
+  cache_misses : int;
 }
 
 let run ?(root = ".") ?(roots = default_roots) ?(baseline_file = "lint_baseline.txt")
-    ?(update_baseline = false) () =
+    ?(update_baseline = false) ?cache_dir ?(use_cache = true)
+    ?(interproc = true) () =
   let files = collect ~root ~roots in
+  let dir = match cache_dir with Some d -> d | None -> Cache.default_dir () in
+  let hits = ref 0 and misses = ref 0 in
+  let per_file =
+    List.map
+      (fun rel ->
+        let src = Source.read ~root rel in
+        if not use_cache then begin
+          incr misses;
+          lint_source src
+        end
+        else
+          let digest = Source.digest src in
+          match Cache.load ~dir ~digest with
+          | Some p ->
+              incr hits;
+              (p.Cache.p_findings, p.Cache.p_fragment)
+          | None ->
+              incr misses;
+              let local, frag = lint_source src in
+              Cache.store ~dir ~digest
+                { Cache.p_findings = local; p_fragment = frag };
+              (local, frag))
+      files
+  in
+  let local = List.concat_map fst per_file in
+  let graph, escape, inter =
+    if interproc then analyze_fragments (List.map snd per_file)
+    else analyze_fragments []
+  in
   let findings =
-    List.concat_map (lint_file ~root) files @ missing_mli files
-    |> List.sort Finding.compare
+    List.sort Finding.compare (local @ inter @ missing_mli files)
   in
   let baseline_path = Filename.concat root baseline_file in
   let baseline = Baseline.load baseline_path in
@@ -189,9 +236,15 @@ let run ?(root = ".") ?(roots = default_roots) ?(baseline_file = "lint_baseline.
     resolved;
     baseline_path;
     updated = update_baseline;
+    graph;
+    escape;
+    cache_hits = !hits;
+    cache_misses = !misses;
   }
 
 let gate_ok r = r.fresh = []
+
+let graph_json r = Interproc.graph_json r.graph r.escape
 
 let render r =
   let buf = Buffer.create 1024 in
@@ -207,12 +260,16 @@ let render r =
     r.resolved;
   Buffer.add_string buf
     (Printf.sprintf
-       "nldl-lint: %d files, %d findings (%d new, %d baselined, %d stale baseline)%s\n"
+       "nldl-lint: %d files, %d findings (%d new, %d baselined, %d stale \
+        baseline); graph: %d nodes, %d escaping; cache: %d hit, %d miss%s\n"
        r.files (List.length r.findings) (List.length r.fresh)
        (List.length r.findings - List.length r.fresh)
        (List.length r.resolved)
+       (Callgraph.node_count r.graph)
+       (Escape.count r.escape) r.cache_hits r.cache_misses
        (if r.updated then Printf.sprintf "; baseline %s updated" r.baseline_path
-        else ""));
+        else ""))
+  ;
   Buffer.contents buf
 
 let json r =
@@ -222,6 +279,10 @@ let json r =
       ("total", Obs.Json.Int (List.length r.findings));
       ("new", Obs.Json.Int (List.length r.fresh));
       ("stale_baseline", Obs.Json.Int (List.length r.resolved));
+      ("graph_nodes", Obs.Json.Int (Callgraph.node_count r.graph));
+      ("escaping", Obs.Json.Int (Escape.count r.escape));
+      ("cache_hits", Obs.Json.Int r.cache_hits);
+      ("cache_misses", Obs.Json.Int r.cache_misses);
       ( "findings",
         Obs.Json.List
           (List.map

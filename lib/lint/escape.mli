@@ -1,0 +1,25 @@
+(** Parallel-escape analysis over {!Callgraph.t}.
+
+    A definition {e escapes} when it is referenced from inside an
+    argument of a parallel primitive, or is call-graph-reachable from
+    one that is.  Escaping code may run on a pool domain concurrently
+    with the submitting domain, so R401/R403 apply to it. *)
+
+type witness = {
+  w_prim : string;  (** parallel primitive at the root *)
+  w_root : string;  (** qualified name of the root definition *)
+}
+
+type t
+
+val compute : Callgraph.t -> t
+(** Breadth-first forward closure from the graph's escape roots.
+    Cycle-tolerant; linear in nodes + edges. *)
+
+val escapes : t -> int -> bool
+val witness : t -> int -> witness option
+val describe : t -> int -> string
+(** Human-readable provenance for findings. *)
+
+val count : t -> int
+(** Number of escaping definitions. *)

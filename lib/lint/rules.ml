@@ -504,6 +504,12 @@ let catalog =
       ("H304", "every lib/ .ml needs an .mli interface");
       ("X001", "unknown nldl.* attribute (typo would silently disable a gate)");
       ("E000", "file failed to parse");
+      ( "R401",
+        "unprotected write to module-level state reachable from a pool domain" );
+      ( "R402",
+        "unsafe access in a zone with no dominating bounds check or valid \
+         nldl.bounds_validated pointer" );
+      ("R403", "blocking syscall inside a pool-escaping closure");
     ]
 
 (* --- scoping wrapper ---------------------------------------------------- *)

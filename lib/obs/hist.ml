@@ -148,7 +148,10 @@ let shard h =
   end
   else new_slots d h.id
 
-let[@inline] record_into s v =
+(* [bucket_of] clamps any non-negative value into [0, buckets); the
+   [st] summary slots are the fixed constants 0..3 of its 4-wide
+   array. *)
+let[@inline] [@nldl.bounds_validated "Hist.bucket_of"] record_into s v =
   let v = if v < 0 then 0 else v in
   let i = bucket_of v in
   Array.unsafe_set s.b i (Array.unsafe_get s.b i + 1);

@@ -51,7 +51,9 @@ let buf_key =
       Mutex.unlock mutex;
       b)
 
-let record kind name =
+(* [i = len land mask] with [mask = capacity - 1] and all three buffers
+   allocated at [capacity] in [buf_key]'s initializer. *)
+let[@nldl.bounds_validated "Trace.buf_key"] record kind name =
   let b = Domain.DLS.get buf_key in
   let i = b.len land mask in
   Array.unsafe_set b.ts i (Clock.now_ns ());

@@ -1,5 +1,11 @@
 module Json = Obs.Json
 
+(* R403: the accept loop runs on a dedicated I/O domain ([Domain.spawn]
+   in [run], not a pool worker); blocking in select/accept/read is that
+   domain's entire job.  Solver work is handed to the pool via
+   [Batch], which never blocks. *)
+[@@@nldl.allow "R403"]
+
 type config = {
   socket_path : string;
   tcp_port : int option;
